@@ -1,0 +1,25 @@
+# Convenience targets for the DDoScovery reproduction.
+
+.PHONY: install test bench examples artefacts clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/telescope_detection.py
+	python examples/carpet_bombing.py
+	python examples/booter_market.py
+
+artefacts:
+	python -m repro.cli run --out artefacts/
+
+clean:
+	rm -rf build *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,43 @@
+"""Benchmark fixtures: the full-scale study, run once per session.
+
+Every benchmark regenerates one paper artefact from the same full
+4.5-year simulation; rendered outputs are written to
+``benchmarks/results/`` and echoed to the terminal, so a benchmark run
+doubles as the reproduction report.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def full_study() -> Study:
+    """The full-scale paper reproduction (seed 0), simulated once."""
+    study = Study(StudyConfig(seed=0))
+    study.observations
+    return study
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def report(capsys, results_dir):
+    """Write a rendered artefact to disk and echo it to the terminal."""
+
+    def _report(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        with capsys.disabled():
+            print(f"\n{'=' * 72}\n{text}\n")
+
+    return _report

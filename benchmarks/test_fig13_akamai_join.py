@@ -1,0 +1,33 @@
+"""F13 — Figure 13 (Appendix G): Akamai confirmation of academic targets.
+
+Paper shape: overlaps with the Akamai baseline are far smaller than with
+Netscout (Akamai only sees its rerouted prefixes), but academia together
+still covers a sizeable share of the Akamai set (paper: 33%), with the
+honeypots contributing more than the telescopes.
+"""
+
+from repro.core.report import render_figure13
+from repro.observatories.registry import ACADEMIC_OBSERVATORIES
+
+
+def test_fig13_akamai_join(benchmark, full_study, report):
+    result = benchmark.pedantic(full_study.figure13, rounds=1, iterations=1)
+    report("F13_akamai_join", render_figure13(full_study))
+
+    netscout = full_study.figure9()
+    # Akamai's baseline is prefix-scoped: its forward confirmation of
+    # single-observatory subsets is lower than Netscout's.
+    akamai_singles = sum(
+        result.forward_row(name).share for name in ACADEMIC_OBSERVATORIES
+    )
+    netscout_singles = sum(
+        netscout.forward_row(name).share for name in ACADEMIC_OBSERVATORIES
+    )
+    assert akamai_singles < netscout_singles
+
+    # Reverse: academia covers a substantial share of the Akamai set
+    # (paper: 33% together), honeypots more than telescopes.
+    assert 0.1 < result.reverse_union < 0.9
+    hp_best = max(result.reverse["Hopscotch"], result.reverse["AmpPot"])
+    telescope_best = max(result.reverse["UCSD"], result.reverse["ORION"])
+    assert hp_best > telescope_best

@@ -1,0 +1,27 @@
+"""F5 — Figure 5: Netscout attack-class share and the 50% crossing.
+
+Paper shape: reflection-amplification dominates early, the share shifts
+toward direct-path attacks, and the last 50% crossing falls in 2021
+(paper: 2021Q2).
+"""
+
+from repro.core.report import render_figure5
+
+
+def test_fig5_shares(benchmark, full_study, report):
+    shares = benchmark.pedantic(
+        full_study.figure5, rounds=5, iterations=1, warmup_rounds=1
+    )
+    report("F5_shares", render_figure5(full_study))
+
+    # RA dominates early (first year average above 50%).
+    early = shares.smoothed_ra_share[4:52].mean()
+    assert early > 0.5, early
+    # DP dominates late.
+    late = shares.smoothed_ra_share[-52:].mean()
+    assert late < 0.5, late
+    # The last crossing falls in 2021 or later-but-close (paper: 2021Q2).
+    quarter = shares.last_crossing_quarter()
+    assert quarter is not None
+    year = int(quarter[:4])
+    assert 2021 <= year <= 2022, quarter

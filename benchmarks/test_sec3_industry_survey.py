@@ -1,0 +1,31 @@
+"""S3 — Section 3: industry-report survey aggregates."""
+
+from repro.core.report import render_industry_survey
+from repro.industry.survey import (
+    metric_frequencies,
+    trend_counts,
+    udp_dominance_share,
+)
+
+
+def test_sec3_industry_survey(benchmark, report):
+    counts = benchmark(trend_counts)
+    report("S3_industry_survey", render_industry_survey())
+
+    # Companies generally reported an overall increase (paper Section 3).
+    assert counts["overall"].increase >= 20
+    # The decreases are F5 (-9.7%) and Arelion ("dramatic" reduction).
+    assert counts["overall"].decrease == 2
+    # Seven vendors reported substantial L7 growth.
+    assert counts["application-layer"].increase == 7
+    # UDP dominance is the one consistent claim across all reports.
+    assert udp_dominance_share() == 1.0
+
+
+def test_sec3_metric_taxonomy(benchmark):
+    rows = benchmark(metric_frequencies)
+    by_name = {row.metric: row for row in rows}
+    # Attack counts are reported universally; niche attributes are not.
+    assert by_name["count"].share == 1.0
+    assert by_name["size"].share > 0.5
+    assert by_name["botnets"].share < 0.3

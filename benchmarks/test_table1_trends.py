@@ -1,0 +1,33 @@
+"""T1 — Table 1: trend classification across observatories and industry.
+
+Paper row shapes: direct path — four observatories ▲, Akamai ◆; industry
+▲(5) ▼(0).  Reflection-amplification — declining/steady everywhere;
+industry ▲(2) ▼(3).
+"""
+
+from repro.core.report import render_table1
+from repro.core.trends import Trend
+
+
+def test_table1_trends(benchmark, full_study, report):
+    rows = benchmark.pedantic(full_study.table1, rounds=2, iterations=1)
+    report("T1_trends", render_table1(full_study))
+
+    dp_row, ra_row = rows
+    assert dp_row.attack_type == "DP"
+    dp_trends = {
+        label.split(" ")[0]: t.trend for label, t in dp_row.observatory_trends.items()
+    }
+    # Telescopes and Netscout/IXP rise; Akamai is the steady outlier.
+    assert dp_trends["ORION"] is Trend.INCREASING
+    assert dp_trends["UCSD"] is Trend.INCREASING
+    assert dp_trends["Netscout"] is Trend.INCREASING
+    assert dp_trends["IXP"] is Trend.INCREASING
+    assert dp_trends["Akamai"] in (Trend.STEADY, Trend.DECREASING)
+
+    ra_trends = [t.trend for t in ra_row.observatory_trends.values()]
+    assert Trend.INCREASING not in ra_trends
+
+    # Industry columns exactly as published.
+    assert dp_row.industry.table1_cell == "▲(5), ▼(0)"
+    assert ra_row.industry.table1_cell == "▲(2), ▼(3)"

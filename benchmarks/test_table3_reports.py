@@ -1,0 +1,19 @@
+"""T3 — Table 3: included/omitted industry documents per vendor."""
+
+from repro.core.report import render_table3
+from repro.industry.survey import table3_rows
+
+
+def test_table3_reports(benchmark, report):
+    rows = benchmark(table3_rows)
+    report("T3_reports", render_table3())
+
+    by_vendor = {row.vendor: row for row in rows}
+    included_total = sum(len(row.included) for row in rows)
+    assert included_total == 24
+    # Paper-documented structure.
+    assert len(by_vendor["Akamai"].included) == 2
+    assert len(by_vendor["DDoS-Guard"].included) == 2
+    assert len(by_vendor["Cloudflare"].omitted) == 4
+    assert len(by_vendor["Qrator"].omitted) == 3
+    assert by_vendor["AWS"].included == ()

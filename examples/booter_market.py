@@ -1,0 +1,75 @@
+"""Booter-market dynamics around a law-enforcement takedown (paper §2.3, §6.2).
+
+Models a heavy-tailed population of DDoS-for-hire services, seizes the
+largest ones on the paper's first takedown date, and shows why the
+aggregate attack supply barely moves: customers migrate to surviving
+services and the seized platforms return under fresh domains within
+months.
+
+Run:  python examples/booter_market.py
+"""
+
+import numpy as np
+
+from repro.attacks.booters import BooterEcosystem
+from repro.core.render import sparkline
+from repro.util.calendar import STUDY_CALENDAR, TAKEDOWN_DATES
+from repro.util.rng import RngFactory
+
+
+def main() -> None:
+    takedown_day = STUDY_CALENDAR.day_index(TAKEDOWN_DATES[0])
+    factory = RngFactory(4)
+    ecosystem = BooterEcosystem(
+        factory.stream("ecosystem"),
+        service_count=40,
+        seizure_days=(takedown_day,),
+        seized_per_action=10,
+    )
+
+    print(f"takedown on {TAKEDOWN_DATES[0]} (study day {takedown_day}):")
+    seized = ecosystem.services_seized_on(takedown_day)
+    for service_id in seized:
+        service = ecosystem.services[service_id]
+        offline = next(
+            end - start
+            for start, end in ecosystem.offline_windows(service_id)
+        )
+        print(
+            f"  seized {service.domain:28s} "
+            f"(market share {service.capacity_share * 100:4.1f}%, "
+            f"returns after {offline} days)"
+        )
+
+    weeks = range(
+        max(0, takedown_day // 7 - 8), min(STUDY_CALENDAR.n_weeks, takedown_day // 7 + 30)
+    )
+    capacity = [ecosystem.capacity(week * 7) for week in weeks]
+    print(f"\nmarket capacity around the takedown "
+          f"(weeks {weeks.start}-{weeks.stop - 1}):")
+    print(f"  |{sparkline(np.asarray(capacity), 56)}|")
+    print(f"  min {min(capacity) * 100:.0f}% of baseline, "
+          f"back to {capacity[-1] * 100:.0f}% by the end")
+
+    # Attribution: who serves the demand before/at/after the action?
+    rng = factory.stream("attribution")
+    for label, day in (
+        ("week before", takedown_day - 7),
+        ("takedown day", takedown_day),
+        ("half a year on", takedown_day + 182),
+    ):
+        sample = [ecosystem.attribute(rng, day) for _ in range(300)]
+        top = max(set(sample), key=sample.count)
+        print(
+            f"  {label:15s} -> busiest service: "
+            f"{ecosystem.services[top].domain} "
+            f"({sample.count(top) / 3:.0f}% of sampled attacks)"
+        )
+
+    print("\nSeizing the top services shifts demand but barely dents the")
+    print("aggregate - the 'indeterminate footprint' the paper observes")
+    print("after both real takedowns.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Estimating botnet size from attack observations (paper §2.1, §3).
+
+Industry reports quote "vector instances" — the number of hosts able to
+send attack packets.  But a vantage point only ever sees the bots that
+participated in observed attacks, and bot populations churn.  This example
+runs the classic capture-recapture estimator over attack source samples
+from two synthetic botnets (one stable, one churning) and shows why
+churn inflates population claims.
+
+Run:  python examples/bot_census.py
+"""
+
+from repro.attacks.botnets import Botnet, estimate_population
+from repro.net.plan import PlanConfig, build_internet_plan
+from repro.util.rng import RngFactory
+
+
+def census(name: str, botnet: Botnet, gap_days: int, sample_size: int) -> None:
+    first = botnet.sources_for_attack(sample_size)
+    botnet.advance_to(gap_days)
+    second = botnet.sources_for_attack(sample_size)
+    estimate = estimate_population(first, second)
+    print(f"{name} (true size {botnet.size}, churn "
+          f"{botnet.daily_churn * 100:.0f}%/day, attacks {gap_days} days apart):")
+    print(f"  attack A engaged {estimate.first_sample} bots, "
+          f"attack B {estimate.second_sample}, "
+          f"recaptured {estimate.recaptured}")
+    if estimate.usable:
+        error = estimate.estimate / botnet.size - 1
+        print(f"  capture-recapture estimate: {estimate.estimate:,.0f} "
+              f"({error * 100:+.0f}% vs truth)")
+    else:
+        print("  no recaptures - only a lower bound is possible")
+    print()
+
+
+def main() -> None:
+    plan = build_internet_plan(PlanConfig(seed=6, tail_as_count=200))
+    factory = RngFactory(6)
+
+    stable = Botnet(1, plan, factory.stream("stable"), size=8_000,
+                    daily_churn=0.0)
+    churning = Botnet(2, plan, factory.stream("churning"), size=8_000,
+                      daily_churn=0.04)
+
+    print("capture-recapture census over attack source samples\n")
+    census("stable botnet  ", stable, gap_days=30, sample_size=2_000)
+    census("churning botnet", churning, gap_days=30, sample_size=2_000)
+
+    print("The churning population looks far larger than it is: every")
+    print("replaced bot breaks a recapture.  'Vector instances' in industry")
+    print("reports carry exactly this bias - one more reason the paper")
+    print("urges care when reading vendor numbers (Section 3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Reconstructing carpet-bombing attacks from honeypot logs (Appendix I).
+
+A carpet-bombing wave sprays a whole prefix; each honeypot sensor logs
+scattered per-IP observations.  This example builds a small routed world,
+synthesises the per-IP observations of a Brazil-style SSDP wave, and runs
+the paper's aggregation: longest BGP-routed prefix between /11 and /28,
+never merging across RIR allocation blocks.
+
+Run:  python examples/carpet_bombing.py
+"""
+
+from repro.net.addr import format_ip, parse_prefix
+from repro.net.rir import RirRegistry
+from repro.net.routing import RoutingTable
+from repro.observatories.carpet import CarpetAggregator, TargetObservation
+from repro.util.rng import RngFactory
+
+
+def build_world():
+    """One ISP /12 announced as a covering route plus per-customer /16s,
+    each /16 a separate RIR allocation (the Brazil scenario)."""
+    routing = RoutingTable()
+    rir = RirRegistry()
+    isp = parse_prefix("100.64.0.0/12")
+    routing.announce(isp, 64500)
+    blocks = list(isp.subnets(16))[:6]
+    for i, block in enumerate(blocks):
+        rir.allocate(block, "LACNIC", 64500 + i)
+        routing.announce(block, 64500 + i)
+    return CarpetAggregator(routing, rir), blocks
+
+
+def synthesize_wave(blocks, rng, per_block=25):
+    """Per-IP honeypot observations: one wave touching every block."""
+    observations = []
+    for block in blocks:
+        for _ in range(per_block):
+            target = block.network + int(rng.integers(block.size))
+            start = float(rng.uniform(0, 300))
+            observations.append(
+                TargetObservation(target=target, start=start, end=start + 120)
+            )
+    return observations
+
+
+def main() -> None:
+    aggregator, blocks = build_world()
+    rng = RngFactory(11).stream("carpet")
+    observations = synthesize_wave(blocks, rng)
+
+    print(f"honeypot logged {len(observations)} per-IP observations "
+          f"across {len(blocks)} allocation blocks\n")
+
+    attacks = aggregator.aggregate(observations)
+    print(f"reconstructed {len(attacks)} prefix attacks:")
+    for attack in attacks:
+        print(f"  {str(attack.prefix):20s} {len(attack.targets):3d} targets  "
+              f"[{attack.start:6.1f}s .. {attack.end:6.1f}s]")
+
+    print("\nNote: one campaign, six recorded attacks - the aggregation")
+    print("never merges across RIR allocation blocks, which is why the")
+    print("mid-2022 SSDP wave against Brazil shows up as spikes in the")
+    print("paper's Figure 3(a)/(b).")
+
+    # Contrast: a wave confined to a single customer block collapses.
+    single = synthesize_wave(blocks[:1], rng, per_block=100)
+    collapsed = aggregator.aggregate(single)
+    print(f"\nsingle-block wave: {len(single)} observations -> "
+          f"{len(collapsed)} attack on {collapsed[0].prefix}")
+    print(f"covering {len(collapsed[0].targets)} distinct targets, e.g. "
+          + ", ".join(format_ip(t) for t in collapsed[0].targets[:4]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Building a consensus DDoS trend from disagreeing observatories.
+
+Every vantage point in the study sees a biased slice of the landscape;
+the paper argues only data sharing can produce a trustworthy picture.
+This example builds the federated consensus (per-week median of the
+normalised series with an inter-quartile disagreement band) and — because
+the simulation knows its own ground truth — scores the consensus against
+each single platform.
+
+Run:  python examples/consensus_trends.py
+"""
+
+import datetime as dt
+
+from repro import Study, StudyConfig, StudyCalendar
+from repro.attacks.events import AttackClass
+from repro.core.consensus import consensus, evaluate_consensus
+from repro.core.render import sparkline
+from repro.net.plan import PlanConfig
+
+
+def main() -> None:
+    study = Study(
+        StudyConfig(
+            seed=11,
+            calendar=StudyCalendar(dt.date(2019, 1, 1), dt.date(2021, 6, 30)),
+            dp_per_day=60.0,
+            ra_per_day=45.0,
+            plan=PlanConfig(seed=11, tail_as_count=200),
+        )
+    )
+    study.observations
+
+    ra_series = {
+        label: weekly
+        for label, weekly in study.main_series().items()
+        if "(RA)" in label
+    }
+    view = consensus(ra_series)
+
+    print("reflection-amplification, per-observatory normalised series:")
+    for label, weekly in ra_series.items():
+        print(f"  {label:15s} |{sparkline(weekly.normalized, 50)}|")
+    print(f"\nconsensus median   |{sparkline(view.median, 50)}|")
+    print(f"disagreement (IQR) |{sparkline(view.dispersion, 50)}|")
+    print(f"mean disagreement index: {view.mean_dispersion:.2f}")
+
+    truth = study.ground_truth_weekly(AttackClass.REFLECTION_AMPLIFICATION)
+    evaluation = evaluate_consensus(ra_series, truth)
+    print("\nshape error against the (simulated) true attack supply:")
+    for label, error in sorted(
+        evaluation.platform_errors.items(), key=lambda kv: kv[1]
+    ):
+        print(f"  {label:15s} {error:.3f}")
+    print(f"  {'consensus':15s} {evaluation.consensus_error:.3f}")
+    verdict = (
+        "beats every single platform"
+        if evaluation.beats_best_platform
+        else "beats the typical platform"
+        if evaluation.beats_median_platform
+        else "does not beat single platforms (unusual seed)"
+    )
+    print(f"\nconsensus {verdict} - the paper's case for data sharing,")
+    print("in numbers.")
+
+
+if __name__ == "__main__":
+    main()

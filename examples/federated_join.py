@@ -1,0 +1,65 @@
+"""Federated academic/industry target inference (paper Section 7.2).
+
+The paper's methodological contribution: academic observatories aggregate
+their (date, target-IP) lists and share them with industry partners, who
+join them against proprietary baselines and return only aggregate
+confirmation shares — no raw customer data crosses the boundary.
+
+This example runs the whole workflow on a simulated year: build the
+academic target sets, subsample an industry baseline (Netscout shared
+~28% of its alerts), and print both directions of the join.
+
+Run:  python examples/federated_join.py
+"""
+
+import datetime as dt
+
+from repro import Study, StudyConfig, StudyCalendar
+from repro.core.render import format_percent
+from repro.net.plan import PlanConfig
+
+
+def main() -> None:
+    config = StudyConfig(
+        seed=5,
+        calendar=StudyCalendar(dt.date(2019, 1, 1), dt.date(2020, 6, 30)),
+        dp_per_day=60.0,
+        ra_per_day=45.0,
+        plan=PlanConfig(seed=5, tail_as_count=200),
+        netscout_baseline_fraction=0.28,
+    )
+    study = Study(config)
+    study.observations
+
+    print("academic target sets (date, IP tuples):")
+    for name, targets in study.academic_target_sets.items():
+        print(f"  {name:10s} {len(targets):8d}")
+    print(f"  union      {len(study.academic_universe):8d}\n")
+
+    result = study.figure9()
+    print(f"Netscout baseline (28% sample of its alerts): "
+          f"{result.baseline_size} tuples\n")
+
+    print("academic -> industry: share of each exclusive academic subset")
+    print("confirmed by the Netscout baseline:")
+    for row in sorted(result.forward, key=lambda r: (-len(r.members), -r.share)):
+        if row.academic_count < 50:
+            continue  # skip tiny subsets, as the paper's plot does
+        members = " & ".join(row.members)
+        print(f"  {format_percent(row.share):>6s}  "
+              f"({row.confirmed_count:5d}/{row.academic_count:6d})  {members}")
+
+    print("\nindustry -> academic: share of the Netscout baseline seen by")
+    print("each academic observatory (no single platform covers it):")
+    for name, share in sorted(result.reverse.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:10s} {format_percent(share)}")
+    print(f"  union      {format_percent(result.reverse_union)}")
+
+    print("\nTakeaway (paper Section 7.2): multi-observatory targets are")
+    print("large multi-vector attacks and get confirmed at much higher")
+    print("rates than single-observatory targets - federation reveals the")
+    print("visibility gaps of every party without sharing raw data.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Measuring anti-spoofing (SAV) deployment the Spoofer way (paper §9).
+
+The paper ties the 2021-2022 decline of reflection-amplification attacks
+to an industry anti-spoofing push, and argues (Section 9) that verifying
+such claims needs sustained SAV measurement — the volunteer-run Spoofer
+project "yields limited measurement coverage".
+
+This example builds per-AS ground truth consistent with the study's SAV
+model and runs two volunteer campaigns against it: an idealised uniform
+one and a realistic biased one (volunteers cluster in education/cloud
+networks, which also remediate early).  The biased campaign systematically
+underestimates the remaining spoofing problem.
+
+Run:  python examples/sav_measurement.py
+"""
+
+from repro.attacks.spoofer import (
+    SavGroundTruth,
+    SpooferCampaign,
+    coverage,
+    estimate_shares,
+)
+from repro.attacks.spoofing import SavModel
+from repro.net.plan import PlanConfig, build_internet_plan
+from repro.util.calendar import STUDY_CALENDAR
+from repro.util.rng import RngFactory
+
+
+def main() -> None:
+    plan = build_internet_plan(PlanConfig(seed=3, tail_as_count=400))
+    sav = SavModel()
+    truth = SavGroundTruth(plan, sav, STUDY_CALENDAR, RngFactory(3))
+    asns = [info.asn for info in plan.ases]
+
+    campaigns = {
+        "uniform volunteers": SpooferCampaign(
+            plan, truth, RngFactory(5), tests_per_week=40
+        ),
+        "biased volunteers ": SpooferCampaign(
+            plan, truth, RngFactory(5), tests_per_week=40, volunteer_bias=0.75
+        ),
+    }
+
+    print("spoofable-network share: ground truth vs Spoofer-style estimates\n")
+    checkpoints = [0, 60, 120, 160, 200, STUDY_CALENDAR.n_weeks - 1]
+    header = "week        " + "".join(f"{week:>8d}" for week in checkpoints)
+    print(header)
+    truth_row = "truth       " + "".join(
+        f"{truth.true_share(week, asns) * 100:>7.1f}%" for week in checkpoints
+    )
+    print(truth_row)
+
+    for name, campaign in campaigns.items():
+        tests = campaign.run()
+        estimates = estimate_shares(tests, STUDY_CALENDAR.n_weeks)
+        row = name + "".join(
+            f"{estimates[week].share * 100:>7.1f}%" for week in checkpoints
+        )
+        print(row)
+        covered = coverage(tests, len(plan.ases))
+        final = estimates[-1]
+        low, high = final.wilson_interval()
+        print(
+            f"  coverage {covered * 100:.0f}% of ASes; final estimate "
+            f"{final.share * 100:.1f}% (95% CI {low * 100:.1f}-{high * 100:.1f}%)"
+        )
+
+    print("\nThe biased campaign reports a rosier picture than reality -")
+    print("volunteer-heavy networks remediated first.  Section 9's case for")
+    print("systematic, infrastructure-grade SAV measurement.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Packet-level RSDoS inference at two telescopes (paper Appendix J, §6.1).
+
+Synthesises backscatter from a set of randomly-spoofed direct-path attacks
+plus background scan radiation, and runs the Corsaro-style detector as it
+would run at UCSD-NT (/9 + /10) and at ORION (/13).  The size difference
+produces exactly the divergence the paper discusses: the small telescope
+misses low-rate attacks entirely.
+
+Run:  python examples/telescope_detection.py
+"""
+
+import numpy as np
+
+from repro.attacks.traces import backscatter_trace, merge_traces, scan_trace
+from repro.net.addr import format_ip, parse_ip
+from repro.net.plan import ORION_TELESCOPE_PREFIX, UCSD_TELESCOPE_PREFIXES
+from repro.observatories.rsdos import RsdosDetector
+from repro.util.rng import RngFactory
+
+ATTACKS = [
+    # (victim, attack rate in pps, duration in seconds)
+    (parse_ip("203.0.113.10"), 2_000_000, 600.0),  # huge: both see it
+    (parse_ip("203.0.113.20"), 300_000, 600.0),  # large: both see it
+    (parse_ip("203.0.113.30"), 40_000, 600.0),  # medium
+    (parse_ip("203.0.113.40"), 15_000, 900.0),  # small: ORION borderline
+    (parse_ip("203.0.113.50"), 2_000, 900.0),  # tiny: below ORION's floor
+]
+
+
+def run_telescope(name, prefixes, rng):
+    traces = [
+        backscatter_trace(rng, victim, prefixes, pps, duration)
+        for victim, pps, duration in ATTACKS
+    ]
+    traces.append(scan_trace(rng, prefixes, parse_ip("198.51.100.66"), 500, 900.0))
+    detector = RsdosDetector()
+    alerts = []
+    for packet in merge_traces(*traces):
+        alerts.extend(detector.observe(packet))
+    alerts.extend(detector.flush())
+
+    size = sum(prefix.size for prefix in prefixes)
+    print(f"\n{name}: {size / 1e6:.2f}M addresses "
+          f"(share of IPv4: {size / 2**32:.5f})")
+    detected = {alert.victim for alert in alerts}
+    for victim, pps, duration in ATTACKS:
+        expected = pps * (size / 2**32) * 60  # packets per 60-s window
+        status = "DETECTED" if victim in detected else "missed  "
+        print(f"  {format_ip(victim):15s} {pps:>9,} pps -> "
+              f"{expected:8.1f} pkts/60s at telescope  [{status}]")
+    return detected
+
+
+def main() -> None:
+    factory = RngFactory(7)
+    ucsd = run_telescope("UCSD-NT (/9 + /10)", UCSD_TELESCOPE_PREFIXES,
+                         factory.stream("ucsd"))
+    orion = run_telescope("ORION (/13)", (ORION_TELESCOPE_PREFIX,),
+                          factory.stream("orion"))
+
+    print("\nsummary:")
+    print(f"  UCSD detected {len(ucsd)}/{len(ATTACKS)} attacks, "
+          f"ORION {len(orion)}/{len(ATTACKS)}")
+    only_ucsd = ucsd - orion
+    if only_ucsd:
+        print("  seen only by the large telescope: "
+              + ", ".join(format_ip(ip) for ip in sorted(only_ucsd)))
+    print("\nThis is the paper's Section 6.1 size effect: the same attack")
+    print("population yields different inferred attack sets per telescope.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""DDoScovery reproduction: cross-observatory DDoS assessment toolkit.
+
+This package reproduces the systems and analyses of "The Age of DDoScovery:
+An Empirical Comparison of Industry and Academic DDoS Assessments"
+(ACM IMC 2024).  It contains:
+
+``repro.net``
+    IPv4 addressing, prefix trie, RIR allocations, AS registry, and a
+    synthetic-but-realistic Internet routing substrate.
+``repro.traffic``
+    Packet and flow models with idle-timeout flow tables.
+``repro.attacks``
+    The ground-truth DDoS landscape: amplification vectors, booter and
+    botnet infrastructure, SAV deployment, a 4.5-year scenario, the attack
+    event generator, and packet-trace synthesis.
+``repro.observatories``
+    The ten observatory models of the paper: network telescopes with a
+    Corsaro-style RSDoS detector, honeypot platforms with per-platform
+    thresholds and carpet-bombing aggregation, and industry flow monitors.
+``repro.industry``
+    A structured corpus of the 24 surveyed industry reports and the survey
+    analytics of the paper's Section 3.
+``repro.core``
+    The paper's analysis toolkit: time-series normalisation, correlation,
+    trend classification, target-overlap analysis, federation joins, and
+    the end-to-end study runner that regenerates every table and figure.
+
+The top-level namespace re-exports the most commonly used entry points.
+"""
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Study",
+    "StudyConfig",
+    "run_study",
+    "StudyCalendar",
+    "STUDY_CALENDAR",
+    "__version__",
+]
+
+_LAZY_EXPORTS = {
+    "Study": ("repro.core.study", "Study"),
+    "StudyConfig": ("repro.core.study", "StudyConfig"),
+    "run_study": ("repro.core.study", "run_study"),
+    "StudyCalendar": ("repro.util.calendar", "StudyCalendar"),
+    "STUDY_CALENDAR": ("repro.util.calendar", "STUDY_CALENDAR"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    """Lazily resolve the public re-exports (PEP 562)."""
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attribute)

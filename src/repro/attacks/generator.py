@@ -1,0 +1,505 @@
+"""Ground-truth attack-event generator.
+
+Produces one :class:`~repro.attacks.events.DayBatch` per study day,
+deterministically from the study seed.  Per-day expected counts come from
+the :class:`~repro.attacks.landscape.LandscapeModel` plus active campaigns;
+per-event attributes are sampled with numpy so a full 4.5-year run stays
+fast.
+
+Important mechanics and their grounding in the paper:
+
+* **Target recurrence** — a bounded pool of recently attacked victims is
+  re-hit with configurable probability, producing the ≈2:1 ratio of
+  (date, IP) tuples to distinct IPs the paper reports in Section 7.
+* **Cross-type pairing** — with small probability (boosted for hosting-AS
+  targets) an event spawns a partner of the *other* attack class on the
+  same target: the multi-vector attacks against DDoS-protected hosters
+  behind the paper's "highly-visible targets" (Section 7.1).
+* **Honeypot reflector selection** — each reflection event pre-draws which
+  honeypot platforms its reflector list happened to include, with
+  per-platform base rates and per-vector affinities (AmpPot leans CHARGEN,
+  Hopscotch leans CLDAP — Section 7.3).
+* **Telescope avoidance** — a small share of attackers exclude known
+  telescope ranges from spoofed-source rotation (reason *(iii)* in
+  Section 6.1); their events carry zero telescope visibility bias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.attacks.campaigns import Campaign, CampaignModel
+from repro.attacks.events import (
+    HP_BIT,
+    OBSERVATORY_KEYS,
+    AttackClass,
+    DayBatch,
+)
+from repro.attacks.landscape import LandscapeModel
+from repro.attacks.vectors import VECTORS, VectorKind, vector_ids
+from repro.net.asn import ASKind
+from repro.net.plan import InternetPlan
+from repro.util.calendar import SECONDS_PER_DAY, StudyCalendar
+from repro.util.rng import RngFactory
+
+#: Honeypot platforms with reflector-selection base probabilities.
+HP_BASE_SELECTION = {"hopscotch": 0.70, "amppot": 0.66, "newkid": 0.004}
+
+#: Per-platform, per-vector selection affinity (default 1.0).  Encodes the
+#: paper's protocol-composition differences between the honeypots.
+HP_VECTOR_AFFINITY: dict[str, dict[str, float]] = {
+    "amppot": {"CHARGEN": 1.6, "CLDAP": 0.45, "Memcached": 0.0},
+    "hopscotch": {"CLDAP": 1.6, "CHARGEN": 0.5},
+    "newkid": {"Memcached": 0.0},
+}
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Sampling parameters for the ground-truth generator.
+
+    The pps/duration scales are calibrated for the *relative* visibility
+    relationships of the paper (e.g. ORION's detection floor is ≈24x
+    UCSD's, so ORION must see roughly 6x fewer targets), not for absolute
+    industry traffic numbers.
+    """
+
+    #: weekly lognormal supply noise (sigma).
+    weekly_noise_sigma: float = 0.12
+    #: probability a target is re-drawn from the recent-victim pool.
+    recurrence_probability: float = 0.60
+    #: capacity of the recent-victim pool.
+    victim_pool_size: int = 20_000
+    #: probability an attack uses a second vector of the same class.
+    multi_vector_probability: float = 0.10
+    #: base probability an event spawns a partner of the other class.
+    cross_type_probability: float = 0.05
+    #: multiplier on the above for targets in hosting ASes.
+    cross_type_hosting_boost: float = 2.0
+    #: size-dependence of pairing: multiplier grows as sqrt(pps/median),
+    #: capped here.  Big attacks are overwhelmingly multi-vector (targets
+    #: that can afford DDoS protection force attackers to combine types).
+    cross_type_size_cap: float = 10.0
+    #: probability a reflection attack carpet-bombs a prefix.
+    carpet_probability: float = 0.03
+    #: carpet probability for campaigns flagged as carpet waves.
+    carpet_campaign_probability: float = 0.55
+    #: attack duration: lognormal (median seconds, sigma); floored at 60 s.
+    duration_median_s: float = 600.0
+    duration_sigma: float = 1.1
+    #: direct-path attack rate: lognormal (median pps, sigma).
+    dp_pps_median: float = 40_000.0
+    dp_pps_sigma: float = 2.2
+    #: reflection attack rate at the victim (amplified): lognormal.
+    ra_pps_median: float = 50_000.0
+    ra_pps_sigma: float = 2.0
+    #: share of attack packets that elicit victim responses (backscatter).
+    victim_response_ratio: float = 0.01
+    #: probability an attacker excludes known telescopes from rotation.
+    telescope_avoidance_probability: float = 0.02
+
+
+class _VictimPool:
+    """Bounded FIFO pool of recently attacked (target, ASN) pairs."""
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._targets: list[tuple[int, int]] = []
+        self._cursor = 0
+
+    def push(self, target: int, asn: int) -> None:
+        if len(self._targets) < self._capacity:
+            self._targets.append((target, asn))
+        else:
+            self._targets[self._cursor] = (target, asn)
+            self._cursor = (self._cursor + 1) % self._capacity
+
+    def sample(self, rng: np.random.Generator) -> tuple[int, int] | None:
+        if not self._targets:
+            return None
+        return self._targets[int(rng.integers(len(self._targets)))]
+
+    def __len__(self) -> int:
+        return len(self._targets)
+
+
+@dataclass
+class _ClassSampler:
+    """Pre-extracted vector ids and weights for one attack class."""
+
+    ids: np.ndarray
+    weights: np.ndarray
+
+    @classmethod
+    def for_kind(cls, kind: VectorKind) -> "_ClassSampler":
+        ids = np.asarray(vector_ids(kind), dtype=np.int16)
+        weights = np.asarray([VECTORS[i].weight for i in ids], dtype=np.float64)
+        return cls(ids=ids, weights=weights / weights.sum())
+
+    def draw(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.choice(self.ids, size=count, p=self.weights)
+
+
+class GroundTruthGenerator:
+    """Streams :class:`DayBatch` objects for the whole study window."""
+
+    def __init__(
+        self,
+        plan: InternetPlan,
+        calendar: StudyCalendar,
+        landscape: LandscapeModel,
+        campaigns: CampaignModel,
+        config: GeneratorConfig | None = None,
+        rng_factory: RngFactory | None = None,
+    ) -> None:
+        self.plan = plan
+        self.calendar = calendar
+        self.landscape = landscape
+        self.campaigns = campaigns
+        self.config = config or GeneratorConfig()
+        factory = rng_factory or RngFactory(0)
+        self._rng = factory.stream("attacks/generator")
+        self._pool = _VictimPool(self.config.victim_pool_size)
+        self._samplers = {
+            AttackClass.DIRECT_PATH: _ClassSampler.for_kind(VectorKind.DIRECT),
+            AttackClass.REFLECTION_AMPLIFICATION: _ClassSampler.for_kind(
+                VectorKind.REFLECTION
+            ),
+        }
+        self._packet_size = np.asarray(
+            [vector.packet_size for vector in VECTORS], dtype=np.float64
+        )
+        self._hosting_asns = {
+            info.asn for info in plan.ases if info.kind is ASKind.HOSTING
+        }
+        self._weekly_noise = self._draw_weekly_noise()
+        self._next_event_id = 0
+
+    def _draw_weekly_noise(self) -> dict[AttackClass, np.ndarray]:
+        """Weekly lognormal supply noise, one factor per class per week."""
+        noise_rng = self._rng
+        sigma = self.config.weekly_noise_sigma
+        return {
+            attack_class: noise_rng.lognormal(
+                mean=-0.5 * sigma * sigma, sigma=sigma, size=self.calendar.n_weeks
+            )
+            for attack_class in AttackClass
+        }
+
+    # -- per-day synthesis ------------------------------------------------------
+
+    def batches(self) -> Iterator[DayBatch]:
+        """Yield one batch per study day, in order."""
+        for day in range(self.calendar.n_days):
+            yield self.batch_for_day(day)
+
+    def batch_for_day(self, day: int) -> DayBatch:
+        """Synthesise the batch for one day.
+
+        Note: day batches consume the generator's random stream
+        sequentially; calling out of order changes the draw.  Use
+        :meth:`batches` for reproducible full runs.
+        """
+        rng = self._rng
+        week = self.calendar.week_of_day(day)
+        active = self.campaigns.active(day)
+
+        class_rows: list[dict] = []
+        for attack_class in AttackClass:
+            base = self.landscape.expected_count(attack_class, day)
+            base *= self._weekly_noise[attack_class][week]
+            class_campaigns = [
+                campaign for campaign in active if campaign.attack_class is attack_class
+            ]
+            expected_extra = base * sum(c.intensity for c in class_campaigns)
+            n_base = int(rng.poisson(base))
+            class_rows.append(
+                {
+                    "attack_class": attack_class,
+                    "count": n_base,
+                    "campaign": None,
+                }
+            )
+            for campaign in class_campaigns:
+                n_extra = int(rng.poisson(base * campaign.intensity))
+                if n_extra:
+                    class_rows.append(
+                        {
+                            "attack_class": attack_class,
+                            "count": n_extra,
+                            "campaign": campaign,
+                        }
+                    )
+            del expected_extra
+
+        segments = [
+            self._make_segment(day, row["attack_class"], row["count"], row["campaign"])
+            for row in class_rows
+            if row["count"] > 0
+        ]
+        segments.extend(self._cross_type_partners(day, segments))
+        return self._assemble(day, segments)
+
+    # -- segment synthesis ----------------------------------------------------
+
+    def _make_segment(
+        self,
+        day: int,
+        attack_class: AttackClass,
+        count: int,
+        campaign: Campaign | None,
+    ) -> dict:
+        """Sample ``count`` events of one class (optionally one campaign)."""
+        rng = self._rng
+        config = self.config
+
+        targets, asns = self._draw_targets(count, campaign)
+        start = day * SECONDS_PER_DAY + np.sort(rng.random(count)) * SECONDS_PER_DAY
+        duration = np.maximum(
+            60.0,
+            rng.lognormal(
+                mean=np.log(config.duration_median_s),
+                sigma=config.duration_sigma,
+                size=count,
+            ),
+        )
+        if attack_class is AttackClass.DIRECT_PATH:
+            pps = rng.lognormal(
+                mean=np.log(config.dp_pps_median), sigma=config.dp_pps_sigma, size=count
+            )
+        else:
+            pps = rng.lognormal(
+                mean=np.log(config.ra_pps_median), sigma=config.ra_pps_sigma, size=count
+            )
+
+        sampler = self._samplers[attack_class]
+        if campaign is not None and campaign.vector_focus is not None:
+            vector = np.full(count, campaign.vector_focus, dtype=np.int16)
+        else:
+            vector = sampler.draw(rng, count).astype(np.int16)
+        secondary = np.full(count, -1, dtype=np.int16)
+        multi = rng.random(count) < config.multi_vector_probability
+        if multi.any():
+            secondary[multi] = sampler.draw(rng, int(multi.sum())).astype(np.int16)
+
+        bps = pps * self._packet_size[vector] * 8.0
+
+        if attack_class is AttackClass.REFLECTION_AMPLIFICATION:
+            carpet_p = (
+                config.carpet_campaign_probability
+                if campaign is not None and campaign.carpet
+                else config.carpet_probability
+            )
+        else:
+            carpet_p = config.carpet_probability * 0.3
+        carpet = rng.random(count) < carpet_p
+        carpet_len = np.zeros(count, dtype=np.int8)
+        if carpet.any():
+            carpet_len[carpet] = rng.integers(22, 27, size=int(carpet.sum()))
+
+        if attack_class is AttackClass.DIRECT_PATH:
+            spoofed = rng.random(count) < self.landscape.spoofed_dp_share(day)
+        else:
+            spoofed = np.ones(count, dtype=bool)  # RA requests are spoofed
+
+        hp_selected = self._draw_hp_selection(attack_class, vector, campaign, count)
+        bias = self._bias_arrays(campaign, count)
+        self._apply_telescope_avoidance(bias, count)
+
+        return {
+            "attack_class": np.full(count, int(attack_class), dtype=np.int8),
+            "target": targets,
+            "origin_asn": asns,
+            "start": start,
+            "duration": duration,
+            "pps": pps,
+            "bps": bps,
+            "vector_id": vector,
+            "secondary_vector_id": secondary,
+            "carpet": carpet,
+            "carpet_prefix_len": carpet_len,
+            "spoofed": spoofed,
+            "hp_selected": hp_selected,
+            "bias": bias,
+        }
+
+    def _draw_targets(
+        self, count: int, campaign: Campaign | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Targets and origin ASNs for ``count`` events."""
+        rng = self._rng
+        targets = np.empty(count, dtype=np.int64)
+        asns = np.empty(count, dtype=np.int64)
+        campaign_asn = campaign.target_asn if campaign is not None else None
+        campaign_prefixes = None
+        if campaign_asn is not None and campaign_asn in self.plan.ases:
+            campaign_prefixes = self.plan.ases.get(campaign_asn).prefixes or None
+
+        fresh = self.plan.sample_targets(rng, count)
+        recur_draw = rng.random(count)
+        concentrate_draw = rng.random(count)
+        for i in range(count):
+            if campaign_prefixes is not None and concentrate_draw[i] < 0.7:
+                prefix = campaign_prefixes[int(rng.integers(len(campaign_prefixes)))]
+                targets[i] = prefix.network + int(rng.integers(prefix.size))
+                asns[i] = campaign_asn
+            elif recur_draw[i] < self.config.recurrence_probability:
+                pooled = self._pool.sample(rng)
+                if pooled is None:
+                    targets[i], asns[i] = self._fresh(fresh[i])
+                else:
+                    targets[i], asns[i] = pooled
+            else:
+                targets[i], asns[i] = self._fresh(fresh[i])
+            self._pool.push(int(targets[i]), int(asns[i]))
+        return targets, asns
+
+    def _fresh(self, target: np.int64) -> tuple[int, int]:
+        asn = self.plan.origin_as(int(target)) or 0
+        return int(target), asn
+
+    def _draw_hp_selection(
+        self,
+        attack_class: AttackClass,
+        vector: np.ndarray,
+        campaign: Campaign | None,
+        count: int,
+    ) -> np.ndarray:
+        """Honeypot reflector-selection bitmask per event."""
+        mask = np.zeros(count, dtype=np.uint8)
+        if attack_class is not AttackClass.REFLECTION_AMPLIFICATION:
+            return mask
+        rng = self._rng
+        vector_names = [VECTORS[v].name for v in vector]
+        # Reflector-list breadth, shared across platforms per event: broad
+        # lists hit every honeypot, narrow lists miss them all.  This
+        # correlation produces the >50% pairwise target overlap between
+        # Hopscotch and AmpPot the paper reports (Section 7.1).
+        breadth = rng.lognormal(mean=-0.32, sigma=0.8, size=count)
+        for platform, bit in HP_BIT.items():
+            base = HP_BASE_SELECTION[platform]
+            campaign_bias = campaign.bias[platform] if campaign is not None else 1.0
+            affinity_table = HP_VECTOR_AFFINITY.get(platform, {})
+            probabilities = np.minimum(
+                1.0,
+                np.asarray(
+                    [
+                        base * affinity_table.get(name, 1.0) * campaign_bias
+                        for name in vector_names
+                    ]
+                )
+                * breadth,
+            )
+            selected = rng.random(count) < probabilities
+            mask |= (selected.astype(np.uint8)) << bit
+        return mask
+
+    def _bias_arrays(
+        self, campaign: Campaign | None, count: int
+    ) -> dict[str, np.ndarray]:
+        if campaign is None:
+            return {key: np.ones(count) for key in OBSERVATORY_KEYS}
+        return {
+            key: np.full(count, campaign.bias[key]) for key in OBSERVATORY_KEYS
+        }
+
+    def _apply_telescope_avoidance(
+        self, bias: dict[str, np.ndarray], count: int
+    ) -> None:
+        """Zero telescope visibility for attackers that avoid telescopes."""
+        avoiders = (
+            self._rng.random(count) < self.config.telescope_avoidance_probability
+        )
+        if avoiders.any():
+            for key in ("ucsd", "orion"):
+                bias[key] = bias[key].copy()
+                bias[key][avoiders] = 0.0
+
+    # -- cross-type partners -----------------------------------------------------
+
+    def _cross_type_partners(self, day: int, segments: list[dict]) -> list[dict]:
+        """Spawn other-class partner events for multi-attack-type targets."""
+        rng = self._rng
+        config = self.config
+        partners: list[dict] = []
+        for segment in segments:
+            count = len(segment["target"])
+            if count == 0:
+                continue
+            boost = np.asarray(
+                [
+                    config.cross_type_hosting_boost
+                    if asn in self._hosting_asns
+                    else 1.0
+                    for asn in segment["origin_asn"]
+                ]
+            )
+            attack_class = AttackClass(int(segment["attack_class"][0]))
+            median_pps = (
+                config.dp_pps_median
+                if attack_class is AttackClass.DIRECT_PATH
+                else config.ra_pps_median
+            )
+            size_boost = np.clip(
+                np.sqrt(segment["pps"] / median_pps), 1.0, config.cross_type_size_cap
+            )
+            probability = np.minimum(
+                0.85, config.cross_type_probability * boost * size_boost
+            )
+            chosen = rng.random(count) < probability
+            if not chosen.any():
+                continue
+            indices = np.flatnonzero(chosen)
+            flipped = AttackClass(1 - int(attack_class))
+            partner = self._make_segment(day, flipped, len(indices), None)
+            # Pin the partner onto the same victims, and correlate partner
+            # size with the originating attack: multi-vector campaigns
+            # against protected targets are big on every vector.
+            partner["target"] = segment["target"][indices].copy()
+            partner["origin_asn"] = segment["origin_asn"][indices].copy()
+            scale = size_boost[indices]
+            partner["pps"] = partner["pps"] * scale
+            partner["bps"] = partner["bps"] * scale
+            partners.append(partner)
+        return partners
+
+    # -- assembly --------------------------------------------------------------
+
+    def _assemble(self, day: int, segments: list[dict]) -> DayBatch:
+        if not segments:
+            empty = np.empty(0)
+            return DayBatch(
+                day,
+                attack_class=np.empty(0, dtype=np.int8),
+                target=np.empty(0, dtype=np.int64),
+                origin_asn=np.empty(0, dtype=np.int64),
+                start=empty,
+                duration=empty.copy(),
+                pps=empty.copy(),
+                bps=empty.copy(),
+                vector_id=np.empty(0, dtype=np.int16),
+                secondary_vector_id=np.empty(0, dtype=np.int16),
+                carpet=np.empty(0, dtype=bool),
+                carpet_prefix_len=np.empty(0, dtype=np.int8),
+                spoofed=np.empty(0, dtype=bool),
+                hp_selected=np.empty(0, dtype=np.uint8),
+                bias={key: empty.copy() for key in OBSERVATORY_KEYS},
+                event_id_base=self._next_event_id,
+            )
+        merged = {
+            name: np.concatenate([segment[name] for segment in segments])
+            for name in segments[0]
+            if name != "bias"
+        }
+        bias = {
+            key: np.concatenate([segment["bias"][key] for segment in segments])
+            for key in OBSERVATORY_KEYS
+        }
+        batch = DayBatch(
+            day, bias=bias, event_id_base=self._next_event_id, **merged
+        )
+        self._next_event_id += len(batch)
+        return batch

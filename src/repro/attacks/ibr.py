@@ -1,0 +1,143 @@
+"""Internet background radiation (IBR) synthesis.
+
+Telescopes receive far more than backscatter: scanning, misconfiguration,
+and bug traffic — the "background radiation" of Pang et al. and Wustrow
+et al., which the paper cites when discussing why equally-sized telescopes
+still see different things.  The RSDoS detector must not classify any of
+it as an attack.
+
+This generator produces the three IBR flavours that stress the detector:
+
+* **TCP SYN scanners** — sequential or random sweeps (never backscatter);
+* **UDP probers** — service discovery from ephemeral source ports
+  (queries, not responses — the source-port heuristic must reject them);
+* **misconfiguration chatter** — low-rate ACK/RST trickles from broken
+  middleboxes, below every attack threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.addr import Prefix
+from repro.traffic.packet import FLAG_ACK, FLAG_RST, FLAG_SYN, TCP, UDP, Packet
+
+
+@dataclass(frozen=True)
+class IbrConfig:
+    """Mix parameters for one synthesis run."""
+
+    scanner_count: int = 20
+    scanner_pps_median: float = 3.0
+    prober_count: int = 10
+    prober_pps_median: float = 1.0
+    misconfig_count: int = 5
+    misconfig_pps: float = 0.05
+
+
+class IbrGenerator:
+    """Synthesises background-radiation packet streams for a telescope."""
+
+    def __init__(
+        self,
+        telescope_prefixes: tuple[Prefix, ...],
+        rng: np.random.Generator,
+        config: IbrConfig | None = None,
+    ) -> None:
+        if not telescope_prefixes:
+            raise ValueError("need at least one telescope prefix")
+        self.prefixes = telescope_prefixes
+        self.config = config or IbrConfig()
+        self._rng = rng
+
+    def _destination(self) -> int:
+        prefix = self.prefixes[int(self._rng.integers(len(self.prefixes)))]
+        return prefix.network + int(self._rng.integers(prefix.size))
+
+    def _arrivals(self, rate: float, duration: float) -> np.ndarray:
+        count = self._rng.poisson(rate * duration)
+        return np.sort(self._rng.random(count)) * duration
+
+    def scanners(self, duration: float) -> list[Packet]:
+        """TCP SYN sweeps from random scanner sources."""
+        rng = self._rng
+        packets: list[Packet] = []
+        for _ in range(self.config.scanner_count):
+            source = int(rng.integers(1, 1 << 32))
+            rate = rng.lognormal(np.log(self.config.scanner_pps_median), 1.0)
+            port = int(rng.choice([22, 23, 80, 443, 445, 3389, 8080]))
+            for timestamp in self._arrivals(rate, duration):
+                packets.append(
+                    Packet(
+                        timestamp=float(timestamp),
+                        src_ip=source,
+                        dst_ip=self._destination(),
+                        protocol=TCP,
+                        src_port=int(rng.integers(1024, 65536)),
+                        dst_port=port,
+                        size=60,
+                        tcp_flags=FLAG_SYN,
+                    )
+                )
+        return packets
+
+    def probers(self, duration: float) -> list[Packet]:
+        """UDP service discovery (queries from ephemeral source ports)."""
+        rng = self._rng
+        packets: list[Packet] = []
+        for _ in range(self.config.prober_count):
+            source = int(rng.integers(1, 1 << 32))
+            rate = rng.lognormal(np.log(self.config.prober_pps_median), 1.0)
+            service = int(rng.choice([53, 123, 161, 1900, 5683]))
+            for timestamp in self._arrivals(rate, duration):
+                packets.append(
+                    Packet(
+                        timestamp=float(timestamp),
+                        src_ip=source,
+                        dst_ip=self._destination(),
+                        protocol=UDP,
+                        src_port=int(rng.integers(32_768, 61_000)),
+                        dst_port=service,
+                        size=80,
+                    )
+                )
+        return packets
+
+    def misconfiguration(self, duration: float) -> list[Packet]:
+        """Low-rate ACK/RST chatter from broken devices.
+
+        These *are* backscatter candidates (a telescope cannot tell a
+        confused middlebox from a victim), but their rates sit far below
+        the 30-packets-per-minute attack threshold.
+        """
+        rng = self._rng
+        packets: list[Packet] = []
+        for _ in range(self.config.misconfig_count):
+            source = int(rng.integers(1, 1 << 32))
+            flags = FLAG_RST if rng.random() < 0.5 else FLAG_SYN | FLAG_ACK
+            for timestamp in self._arrivals(self.config.misconfig_pps, duration):
+                packets.append(
+                    Packet(
+                        timestamp=float(timestamp),
+                        src_ip=source,
+                        dst_ip=self._destination(),
+                        protocol=TCP,
+                        src_port=80,
+                        dst_port=int(rng.integers(1024, 65536)),
+                        size=60,
+                        tcp_flags=flags,
+                    )
+                )
+        return packets
+
+    def mixed(self, duration: float) -> list[Packet]:
+        """All three flavours merged into one sorted stream."""
+        packets = (
+            self.scanners(duration)
+            + self.probers(duration)
+            + self.misconfiguration(duration)
+        )
+        packets.sort(key=lambda packet: packet.timestamp)
+        return packets

@@ -1,0 +1,175 @@
+"""The 4.5-year landscape scenario: expected attack supply per day.
+
+The scenario encodes the *consensus shape* the paper extracts from its ten
+data sets (Sections 6.1-6.2):
+
+* direct-path attacks grow over the window, with a COVID-era bump in
+  2020Q2, elevated activity in 2021, growth through 2022, and a further
+  rise in 2023;
+* reflection-amplification attacks rise steeply through 2020, peak around
+  2020Q4-2021Q1, decline across 2021-2022 (reinforced by the SAV model),
+  bottom out around the turn of 2023, and recover slightly in 2023;
+* both classes carry an annual seasonality with a first-half peak and a
+  second-half valley (the pattern Netscout and the IXP report);
+* booter takedowns dent supply briefly (the :class:`BooterMarket` model).
+
+Per-observatory divergence is *not* encoded here — it emerges from the
+campaign visibility-bias mechanism and each observatory's vantage model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.attacks.booters import BooterMarket
+from repro.attacks.events import AttackClass
+from repro.attacks.spoofing import SavModel
+from repro.util.calendar import DAYS_PER_WEEK, StudyCalendar
+
+#: Weeks per year (for the seasonality term).
+_WEEKS_PER_YEAR = 52.1775
+
+
+class PiecewiseCurve:
+    """Piecewise-linear curve over study weeks.
+
+    Control points are (week, value) pairs; evaluation clamps outside the
+    covered range.
+    """
+
+    def __init__(self, points: list[tuple[float, float]]) -> None:
+        if len(points) < 2:
+            raise ValueError("need at least two control points")
+        weeks = [week for week, _ in points]
+        if weeks != sorted(weeks) or len(set(weeks)) != len(weeks):
+            raise ValueError("control-point weeks must be strictly increasing")
+        self._points = list(points)
+
+    def value(self, week: float) -> float:
+        """Interpolated value at a (fractional) week index."""
+        points = self._points
+        if week <= points[0][0]:
+            return points[0][1]
+        if week >= points[-1][0]:
+            return points[-1][1]
+        for (w0, v0), (w1, v1) in zip(points, points[1:]):
+            if w0 <= week <= w1:
+                fraction = (week - w0) / (w1 - w0)
+                return v0 + fraction * (v1 - v0)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    @property
+    def points(self) -> list[tuple[float, float]]:
+        """The control points (copy)."""
+        return list(self._points)
+
+
+#: Direct-path supply shape (baseline 1.0 in early 2019).
+DP_SHAPE = PiecewiseCurve(
+    [
+        (0, 1.00),
+        (13, 1.10),  # 2019Q2 bump (ORION sees peaks here)
+        (26, 1.00),
+        (44, 1.05),
+        (57, 1.45),  # 2020Q1/Q2 COVID-era rise
+        (70, 1.55),
+        (83, 1.30),
+        (104, 1.45),  # 2021Q1 peak (Netscout, Akamai)
+        (117, 1.60),  # mid-2021 elevation (telescopes)
+        (143, 1.35),
+        (160, 1.70),  # 2022Q1/Q2 high (ORION's largest peaks)
+        (175, 1.80),
+        (195, 1.55),
+        (208, 1.75),
+        (221, 2.20),  # 2023Q2 rise (UCSD's largest peak)
+        (234, 2.30),
+    ]
+)
+
+#: Reflection-amplification supply shape (before SAV suppression).
+RA_SHAPE = PiecewiseCurve(
+    [
+        (0, 1.00),
+        (20, 0.92),  # slow 2019 decline (IXP)
+        (44, 1.00),
+        (57, 1.70),  # steep rise to 2020Q2
+        (70, 1.60),
+        (91, 1.85),  # 2020Q4 high
+        (108, 1.70),  # 2021Q1 high (Akamai, Netscout, IXP, AmpPot)
+        (117, 1.25),  # decline across 2021
+        (126, 1.00),  # the 50% DP/RA crossing falls here (2021Q2)
+        (143, 0.90),
+        (156, 0.85),
+        (182, 0.75),
+        (206, 0.58),  # low at the turn of 2023
+        (216, 0.68),
+        (234, 0.75),  # mild 2023 recovery
+    ]
+)
+
+
+@dataclass(frozen=True)
+class Seasonality:
+    """Annual first-half-peak / second-half-valley modulation."""
+
+    amplitude: float = 0.10
+    #: fractional week-of-year where the seasonal peak falls (≈ Q2).
+    peak_week_of_year: float = 16.0
+
+    def factor(self, week: float) -> float:
+        """Multiplicative seasonal factor at a (fractional) study week."""
+        phase = 2.0 * math.pi * (week - self.peak_week_of_year) / _WEEKS_PER_YEAR
+        return 1.0 + self.amplitude * math.cos(phase)
+
+
+class LandscapeModel:
+    """Expected ground-truth attack counts per day, by attack class."""
+
+    def __init__(
+        self,
+        calendar: StudyCalendar,
+        *,
+        dp_per_day: float,
+        ra_per_day: float,
+        sav: SavModel | None = None,
+        booters: BooterMarket | None = None,
+        seasonality: Seasonality | None = None,
+        dp_shape: PiecewiseCurve = DP_SHAPE,
+        ra_shape: PiecewiseCurve = RA_SHAPE,
+    ) -> None:
+        if dp_per_day <= 0 or ra_per_day <= 0:
+            raise ValueError("daily base rates must be positive")
+        self.calendar = calendar
+        self.dp_per_day = dp_per_day
+        self.ra_per_day = ra_per_day
+        self.sav = sav or SavModel()
+        self.booters = booters if booters is not None else BooterMarket.default(calendar)
+        self.seasonality = seasonality or Seasonality()
+        self.dp_shape = dp_shape
+        self.ra_shape = ra_shape
+
+    def expected_count(self, attack_class: AttackClass, day: int) -> float:
+        """Expected number of new attacks of a class on a study day."""
+        week = day / DAYS_PER_WEEK
+        seasonal = self.seasonality.factor(week)
+        booter = self.booters.capacity(day)
+        if attack_class is AttackClass.DIRECT_PATH:
+            return self.dp_per_day * self.dp_shape.value(week) * seasonal * booter
+        # RA supply requires spoofing-capable source networks, so the SAV
+        # decline suppresses it on top of the scenario shape.
+        sav = self.sav.suppression(week)
+        return self.ra_per_day * self.ra_shape.value(week) * seasonal * booter * sav
+
+    def spoofed_dp_share(self, day: int) -> float:
+        """Share of direct-path attacks that randomly spoof sources.
+
+        Declines with the SAV model — as fewer networks can spoof,
+        non-spoofed state-exhaustion attacks take a relatively larger
+        share — but only partially: spoofing concentrates in networks the
+        initiative has not reached, so RSDoS supply keeps growing with the
+        direct-path class overall (the telescopes' upward trend in
+        Table 1).
+        """
+        week = day / DAYS_PER_WEEK
+        return 0.62 * (0.5 + 0.5 * self.sav.suppression(week))

@@ -1,0 +1,53 @@
+"""Source-address-validation (SAV) deployment model.
+
+The paper's central natural experiment: DDoS mitigation providers reported a
+concerted anti-spoofing push starting in 2021 (the "DDoS Traceback Working
+Group"), and Netscout measured a 17% year-over-year drop in reflection-
+amplification attacks in 2022, which they attribute to it (Section 2.3).
+
+We model the share of networks still able to spoof as a piecewise-linear
+curve over study weeks: flat before the initiative, declining from mid-2021
+through 2022, flat afterwards.  Spoofed attack supply (both RSDoS and the
+spoofed requests that drive reflection-amplification) scales with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SavModel:
+    """Spoofing capability over time.
+
+    Parameters give the spoofable-network share before and after the
+    anti-spoofing initiative and the (week-indexed) ramp boundaries.
+    Defaults are tuned so reflection-amplification supply drops ≈17%
+    across 2022 vs 2021, matching the Netscout figure the paper quotes.
+    """
+
+    share_before: float = 0.30
+    share_after: float = 0.20
+    ramp_start_week: int = 128  # ≈ mid-2021
+    ramp_end_week: int = 200  # ≈ end of 2022
+
+    def __post_init__(self) -> None:
+        if not 0 < self.share_after <= self.share_before <= 1:
+            raise ValueError("shares must satisfy 0 < after <= before <= 1")
+        if self.ramp_start_week >= self.ramp_end_week:
+            raise ValueError("ramp must have positive width")
+
+    def spoofable_share(self, week: float) -> float:
+        """Share of networks that still permit spoofing at ``week``."""
+        if week <= self.ramp_start_week:
+            return self.share_before
+        if week >= self.ramp_end_week:
+            return self.share_after
+        progress = (week - self.ramp_start_week) / (
+            self.ramp_end_week - self.ramp_start_week
+        )
+        return self.share_before + progress * (self.share_after - self.share_before)
+
+    def suppression(self, week: float) -> float:
+        """Multiplier (≤1) on spoofed-attack supply relative to the baseline."""
+        return self.spoofable_share(week) / self.share_before

@@ -1,0 +1,107 @@
+"""Attack-vector catalogue.
+
+Reflection-amplification vectors are UDP services with published
+amplification factors (Rossow, NDSS 2014, is the canonical source); direct-
+path vectors are the flood types industry reports enumerate.  Relative
+popularity weights are coarse and follow the paper's narrative (UDP-based
+vectors dominate; DNS and NTP lead RA; SYN floods lead DP).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.traffic.packet import ICMP, TCP, UDP
+
+
+class VectorKind(enum.Enum):
+    """Whether a vector implements reflection-amplification or direct path."""
+
+    REFLECTION = "reflection-amplification"
+    DIRECT = "direct-path"
+
+
+@dataclass(frozen=True)
+class Vector:
+    """One attack vector.
+
+    ``amplification`` is the bandwidth amplification factor (1.0 for direct
+    path).  ``weight`` is the relative popularity used when sampling a
+    vector for a new attack.  ``packet_size`` is the typical attack-traffic
+    packet size in bytes as seen by the victim.
+    """
+
+    name: str
+    kind: VectorKind
+    protocol: int
+    port: int
+    amplification: float
+    weight: float
+    packet_size: int
+
+    def __post_init__(self) -> None:
+        if self.amplification < 1.0:
+            raise ValueError(f"amplification < 1 for {self.name}")
+        if self.weight < 0:
+            raise ValueError(f"negative weight for {self.name}")
+
+
+#: Reflection-amplification vectors (UDP services abused as reflectors).
+RA_VECTORS: tuple[Vector, ...] = (
+    Vector("DNS", VectorKind.REFLECTION, UDP, 53, 54.0, 0.30, 512),
+    Vector("NTP", VectorKind.REFLECTION, UDP, 123, 556.0, 0.20, 468),
+    Vector("CLDAP", VectorKind.REFLECTION, UDP, 389, 56.0, 0.12, 1200),
+    Vector("SSDP", VectorKind.REFLECTION, UDP, 1900, 30.0, 0.10, 320),
+    Vector("CHARGEN", VectorKind.REFLECTION, UDP, 19, 358.0, 0.08, 1024),
+    Vector("Memcached", VectorKind.REFLECTION, UDP, 11211, 10000.0, 0.03, 1400),
+    Vector("QOTD", VectorKind.REFLECTION, UDP, 17, 140.0, 0.05, 512),
+    Vector("RPC", VectorKind.REFLECTION, UDP, 111, 28.0, 0.05, 486),
+    Vector("mDNS", VectorKind.REFLECTION, UDP, 5353, 9.8, 0.03, 428),
+    Vector("SNMP", VectorKind.REFLECTION, UDP, 161, 6.3, 0.04, 900),
+)
+
+#: Direct-path flood vectors.
+DP_VECTORS: tuple[Vector, ...] = (
+    Vector("SYN-flood", VectorKind.DIRECT, TCP, 0, 1.0, 0.38, 60),
+    Vector("UDP-flood", VectorKind.DIRECT, UDP, 0, 1.0, 0.30, 512),
+    Vector("ACK-flood", VectorKind.DIRECT, TCP, 0, 1.0, 0.10, 60),
+    Vector("RST-flood", VectorKind.DIRECT, TCP, 0, 1.0, 0.05, 60),
+    Vector("ICMP-flood", VectorKind.DIRECT, ICMP, 0, 1.0, 0.07, 64),
+    Vector("HTTP-L7", VectorKind.DIRECT, TCP, 443, 1.0, 0.10, 800),
+)
+
+#: Emerging reflection vectors the paper's industry sources flag
+#: (Netscout's TP240PhoneHome and SLP advisories are cited in §2.3/§3).
+#: Weight 0: present in the catalogue for lookups and reports, but not in
+#: the default 2019-2023 attack mix.
+EMERGING_RA_VECTORS: tuple[Vector, ...] = (
+    Vector("TP240", VectorKind.REFLECTION, UDP, 10074, 2200.0, 0.0, 1024),
+    Vector("SLP", VectorKind.REFLECTION, UDP, 427, 32.0, 0.0, 500),
+    Vector("WS-Discovery", VectorKind.REFLECTION, UDP, 3702, 500.0, 0.0, 650),
+    Vector("ARMS", VectorKind.REFLECTION, UDP, 3283, 35.5, 0.0, 1034),
+    Vector("CoAP", VectorKind.REFLECTION, UDP, 5683, 34.0, 0.0, 440),
+)
+
+#: Combined catalogue; vector ids are indices into this tuple.  Emerging
+#: vectors are appended *after* the direct-path block so the ids of the
+#: active vectors stay stable.
+VECTORS: tuple[Vector, ...] = RA_VECTORS + DP_VECTORS + EMERGING_RA_VECTORS
+
+_BY_NAME = {vector.name: vector for vector in VECTORS}
+_ID_BY_NAME = {vector.name: index for index, vector in enumerate(VECTORS)}
+
+
+def vector_by_name(name: str) -> Vector:
+    """Look up a vector by name; KeyError if unknown."""
+    return _BY_NAME[name]
+
+
+def vector_id(name: str) -> int:
+    """Catalogue index of a vector name."""
+    return _ID_BY_NAME[name]
+
+
+def vector_ids(kind: VectorKind) -> list[int]:
+    """Catalogue indices of all vectors of one kind."""
+    return [i for i, vector in enumerate(VECTORS) if vector.kind is kind]

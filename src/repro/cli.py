@@ -1,0 +1,224 @@
+"""Command-line interface: ``ddoscovery``.
+
+Subcommands:
+
+``ddoscovery run``
+    Run the study and print (or save) paper artefacts.
+``ddoscovery survey``
+    Print the industry-report survey aggregates (Section 3 / Tables 1, 3).
+``ddoscovery landscape``
+    Print ground-truth landscape statistics (no observatories).
+``ddoscovery sensitivity``
+    Print telescope detection floors for a given prefix length.
+
+Examples::
+
+    ddoscovery run --weeks 80 --artefact F7 F5
+    ddoscovery run --seed 3 --out results/
+    ddoscovery survey
+    ddoscovery sensitivity --prefix-length 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as dt
+import sys
+from pathlib import Path
+
+from repro.core import report as report_module
+from repro.core.study import Study, StudyConfig
+from repro.util.calendar import STUDY_CALENDAR, StudyCalendar
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ddoscovery",
+        description="Cross-observatory DDoS assessment toolkit (IMC'24 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run the study and print artefacts")
+    run.add_argument("--seed", type=int, default=0, help="study seed (default 0)")
+    run.add_argument(
+        "--weeks",
+        type=int,
+        default=None,
+        help="shorten the window to N weeks from 2019-01-01 (default: full 234)",
+    )
+    run.add_argument(
+        "--artefact",
+        nargs="*",
+        default=None,
+        metavar="ID",
+        help="artefact ids (T1..T4, F2..F14, S3); default: all",
+    )
+    run.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to write one text file per artefact",
+    )
+    run.add_argument(
+        "--dp-per-day", type=float, default=90.0, help="direct-path base rate"
+    )
+    run.add_argument(
+        "--ra-per-day", type=float, default=70.0, help="reflection base rate"
+    )
+
+    commands.add_parser("survey", help="industry-report survey (Section 3)")
+
+    landscape = commands.add_parser(
+        "landscape", help="ground-truth landscape statistics"
+    )
+    landscape.add_argument("--seed", type=int, default=0)
+    landscape.add_argument("--weeks", type=int, default=26)
+
+    sensitivity = commands.add_parser(
+        "sensitivity", help="telescope detection floors"
+    )
+    sensitivity.add_argument(
+        "--prefix-length", type=int, default=13, help="telescope prefix length"
+    )
+
+    return parser
+
+
+def _calendar_for(weeks: int | None) -> StudyCalendar:
+    if weeks is None:
+        return STUDY_CALENDAR
+    if weeks < 16:
+        raise SystemExit("need at least 16 weeks (15-week normalisation baseline)")
+    start = dt.date(2019, 1, 1)
+    return StudyCalendar(start, start + dt.timedelta(days=weeks * 7))
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = StudyConfig(
+        seed=args.seed,
+        calendar=_calendar_for(args.weeks),
+        dp_per_day=args.dp_per_day,
+        ra_per_day=args.ra_per_day,
+    )
+    study = Study(config)
+    print(
+        f"simulating {study.calendar.start} .. {study.calendar.end} "
+        f"(seed {config.seed}) ...",
+        file=sys.stderr,
+    )
+    study.observations
+
+    available = dict(report_module.RENDERERS)
+    available["T3"] = lambda _study: report_module.render_table3()
+    available["S3"] = lambda _study: report_module.render_industry_survey()
+    available["S73"] = report_module.render_section73
+    wanted = args.artefact or list(available)
+    unknown = [key for key in wanted if key not in available]
+    if unknown:
+        raise SystemExit(
+            f"unknown artefacts: {unknown}; available: {sorted(available)}"
+        )
+    for key in wanted:
+        text = available[key](study)
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{key}.txt").write_text(text + "\n", encoding="utf-8")
+            print(f"wrote {args.out / f'{key}.txt'}", file=sys.stderr)
+        else:
+            print("=" * 72)
+            print(text)
+            print()
+    return 0
+
+
+def _command_survey(_: argparse.Namespace) -> int:
+    print(report_module.render_industry_survey())
+    print()
+    print(report_module.render_table3())
+    return 0
+
+
+def _command_landscape(args: argparse.Namespace) -> int:
+    from repro.attacks.campaigns import CampaignModel
+    from repro.attacks.generator import GroundTruthGenerator
+    from repro.attacks.landscape import LandscapeModel
+    from repro.attacks.vectors import VECTORS
+    from repro.net.plan import PlanConfig, build_internet_plan
+    from repro.util.rng import RngFactory
+
+    calendar = _calendar_for(args.weeks)
+    plan = build_internet_plan(PlanConfig(seed=args.seed))
+    factory = RngFactory(args.seed)
+    landscape = LandscapeModel(calendar, dp_per_day=90.0, ra_per_day=70.0)
+    campaigns = CampaignModel(
+        calendar,
+        factory,
+        candidate_asns=[i.asn for i in plan.ases if i.target_weight > 0],
+    )
+    generator = GroundTruthGenerator(
+        plan, calendar, landscape, campaigns, rng_factory=factory
+    )
+
+    total = dp = ra = carpet = multi = 0
+    vector_counts: dict[str, int] = {}
+    for batch in generator.batches():
+        total += len(batch)
+        dp += int(batch.is_direct_path.sum())
+        ra += int(batch.is_reflection.sum())
+        carpet += int(batch.carpet.sum())
+        multi += int((batch.secondary_vector_id >= 0).sum())
+        for vector_id in batch.vector_id.tolist():
+            name = VECTORS[vector_id].name
+            vector_counts[name] = vector_counts.get(name, 0) + 1
+
+    print(f"ground truth over {calendar.n_weeks} weeks (seed {args.seed}):")
+    print(f"  attacks           {total}")
+    print(f"  direct-path       {dp} ({dp / total * 100:.1f}%)")
+    print(f"  reflection-ampl.  {ra} ({ra / total * 100:.1f}%)")
+    print(f"  carpet-bombing    {carpet} ({carpet / total * 100:.1f}%)")
+    print(f"  multi-vector      {multi} ({multi / total * 100:.1f}%)")
+    print(f"  campaigns         {len(campaigns)}")
+    print("\nvector mix:")
+    for name, count in sorted(vector_counts.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:12s} {count:7d} ({count / total * 100:5.1f}%)")
+    return 0
+
+
+def _command_sensitivity(args: argparse.Namespace) -> int:
+    from repro.net.addr import Prefix
+    from repro.observatories.telescope import NetworkTelescope
+    from repro.util.rng import RngFactory
+
+    length = args.prefix_length
+    if not 0 <= length <= 32:
+        raise SystemExit("prefix length must be 0..32")
+    telescope = NetworkTelescope(
+        key="ucsd",
+        name=f"/{length}",
+        prefixes=(Prefix(0, length),),
+        rng=RngFactory(0).stream("cli"),
+    )
+    print(f"telescope /{length}: {telescope.size} addresses")
+    print(f"  share of IPv4 space : {telescope.share:.8f}")
+    print(f"  detection floor     : {telescope.detectable_rate_pps():.1f} pps")
+    print(f"  detection floor     : {telescope.detectable_rate_mbps():.3f} Mbps "
+          "(114-byte packets, 25 pkts / 300 s)")
+    return 0
+
+
+_COMMANDS = {
+    "run": _command_run,
+    "survey": _command_survey,
+    "landscape": _command_landscape,
+    "sensitivity": _command_sensitivity,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

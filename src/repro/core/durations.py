@@ -1,0 +1,99 @@
+"""Attack duration and size distributions (industry report metrics).
+
+Industry reports publish duration and size statistics ("most attacks
+under 10 min", peak Gbps) — attributes the paper's Section-3 taxonomy
+tracks.  This module computes them from observation records so the same
+numbers the vendor reports quote can be derived from any feed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.observatories.base import Observations
+
+
+@dataclass(frozen=True)
+class DurationStats:
+    """Duration distribution of one feed (seconds)."""
+
+    records: int
+    reported: int  # records with a finite duration
+    median_s: float
+    p90_s: float
+    share_under_10min: float
+
+    @property
+    def median_minutes(self) -> float:
+        """Median in minutes (how reports quote it)."""
+        return self.median_s / 60.0
+
+
+@dataclass(frozen=True)
+class SizeStats:
+    """Attack-size distribution of one feed (bits per second)."""
+
+    records: int
+    median_bps: float
+    p99_bps: float
+    peak_bps: float
+
+    @property
+    def peak_gbps(self) -> float:
+        """Headline peak in Gbps."""
+        return self.peak_bps / 1e9
+
+
+def duration_stats(observations: Observations) -> DurationStats:
+    """Duration distribution; NaN durations (unreported) are excluded."""
+    durations = observations.duration
+    finite = durations[np.isfinite(durations)]
+    if len(finite) == 0:
+        return DurationStats(
+            records=len(observations),
+            reported=0,
+            median_s=float("nan"),
+            p90_s=float("nan"),
+            share_under_10min=float("nan"),
+        )
+    return DurationStats(
+        records=len(observations),
+        reported=len(finite),
+        median_s=float(np.median(finite)),
+        p90_s=float(np.percentile(finite, 90)),
+        share_under_10min=float((finite < 600.0).mean()),
+    )
+
+
+def size_stats(observations: Observations) -> SizeStats:
+    """Attack-size distribution of a feed."""
+    if len(observations) == 0:
+        raise ValueError("empty feed")
+    bps = observations.bps
+    return SizeStats(
+        records=len(observations),
+        median_bps=float(np.median(bps)),
+        p99_bps=float(np.percentile(bps, 99)),
+        peak_bps=float(bps.max()),
+    )
+
+
+def render_duration_table(feeds: dict[str, Observations]) -> str:
+    """Per-feed duration/size table (the industry-report style numbers)."""
+    lines = [
+        f"{'feed':12s} {'records':>8s} {'median':>8s} {'p90':>8s} "
+        f"{'<10min':>7s} {'peak':>9s}",
+    ]
+    for name, observations in feeds.items():
+        durations = duration_stats(observations)
+        sizes = size_stats(observations)
+        lines.append(
+            f"{name:12s} {durations.records:>8d} "
+            f"{durations.median_minutes:>7.1f}m "
+            f"{durations.p90_s / 60:>7.1f}m "
+            f"{durations.share_under_10min * 100:>6.0f}% "
+            f"{sizes.peak_gbps:>8.1f}G"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Set-intersection analysis of targets across observatories.
+
+Implements the paper's Figure-7 UpSet analysis: for every combination of
+observatories, the number of targets seen by *exactly* that combination
+(exclusive intersections), plus per-observatory totals and shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Hashable, Iterable
+
+
+@dataclass(frozen=True)
+class UpsetRow:
+    """One exclusive intersection: targets seen by exactly these sets."""
+
+    members: tuple[str, ...]
+    count: int
+    share: float  # of the universe (union of all sets)
+
+
+@dataclass
+class UpsetResult:
+    """Full UpSet decomposition of named sets."""
+
+    set_names: list[str]
+    set_sizes: dict[str, int]
+    set_shares: dict[str, float]
+    universe_size: int
+    rows: list[UpsetRow]
+
+    def exclusive(self, *members: str) -> UpsetRow:
+        """The row for exactly the given member combination."""
+        wanted = tuple(sorted(members))
+        for row in self.rows:
+            if tuple(sorted(row.members)) == wanted:
+                return row
+        return UpsetRow(members=wanted, count=0, share=0.0)
+
+    def seen_by_all(self) -> UpsetRow:
+        """The all-observatories intersection row."""
+        return self.exclusive(*self.set_names)
+
+
+def upset(named_sets: dict[str, set[Hashable]]) -> UpsetResult:
+    """Exclusive-intersection decomposition of named sets.
+
+    Every element of the universe belongs to exactly one row (the
+    combination of sets containing it), so row counts sum to the universe
+    size.
+    """
+    if len(named_sets) < 2:
+        raise ValueError("need at least two sets")
+    names = list(named_sets)
+    universe: set[Hashable] = set().union(*named_sets.values())
+    universe_size = len(universe)
+
+    # Membership signature per element -> count.
+    signature_counts: dict[frozenset[str], int] = {}
+    for element in universe:
+        signature = frozenset(
+            name for name in names if element in named_sets[name]
+        )
+        signature_counts[signature] = signature_counts.get(signature, 0) + 1
+
+    rows = [
+        UpsetRow(
+            members=tuple(sorted(signature)),
+            count=count,
+            share=count / universe_size if universe_size else 0.0,
+        )
+        for signature, count in signature_counts.items()
+    ]
+    rows.sort(key=lambda row: (-row.count, row.members))
+    return UpsetResult(
+        set_names=names,
+        set_sizes={name: len(named_sets[name]) for name in names},
+        set_shares={
+            name: (len(named_sets[name]) / universe_size if universe_size else 0.0)
+            for name in names
+        },
+        universe_size=universe_size,
+        rows=rows,
+    )
+
+
+def pairwise_overlap_shares(
+    named_sets: dict[str, set[Hashable]]
+) -> dict[tuple[str, str], float]:
+    """Directed overlap shares: fraction of A's elements also in B.
+
+    The paper quotes these as e.g. "AmpPot shared 57% of the targets it
+    observed with Hopscotch".
+    """
+    shares: dict[tuple[str, str], float] = {}
+    for a, b in combinations(named_sets, 2):
+        set_a, set_b = named_sets[a], named_sets[b]
+        intersection = len(set_a & set_b)
+        shares[(a, b)] = intersection / len(set_a) if set_a else 0.0
+        shares[(b, a)] = intersection / len(set_b) if set_b else 0.0
+    return shares
+
+
+def intersection_of(named_sets: dict[str, set[Hashable]], names: Iterable[str]) -> set:
+    """Plain (non-exclusive) intersection of the named subsets."""
+    chosen = [named_sets[name] for name in names]
+    if not chosen:
+        raise ValueError("no sets named")
+    return set.intersection(*chosen)

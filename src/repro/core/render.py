@@ -1,0 +1,82 @@
+"""Plain-text rendering of study artefacts.
+
+The benchmark harness prints the same rows and series the paper reports;
+these helpers format them as aligned ASCII tables and compact sparkline
+summaries, so runs are directly readable in a terminal or CI log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """Compact unicode sparkline of a series, resampled to ``width``."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        return ""
+    if len(values) > width:
+        # Average into `width` buckets.
+        edges = np.linspace(0, len(values), width + 1).astype(int)
+        values = np.asarray(
+            [values[a:b].mean() if b > a else values[min(a, len(values) - 1)]
+             for a, b in zip(edges, edges[1:])]
+        )
+    low, high = float(values.min()), float(values.max())
+    if high == low:
+        return _SPARK_LEVELS[1] * len(values)
+    scaled = (values - low) / (high - low) * (len(_SPARK_LEVELS) - 2) + 1
+    return "".join(_SPARK_LEVELS[int(round(s))] for s in scaled)
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Aligned ASCII table with a header rule."""
+    columns = [headers] + rows
+    widths = [
+        max(len(str(row[i])) for row in columns) for i in range(len(headers))
+    ]
+    def fmt(row: list[str]) -> str:
+        return "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+
+    rule = "  ".join("-" * width for width in widths)
+    return "\n".join([fmt(headers), rule, *(fmt(row) for row in rows)])
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """``0.055`` -> ``'5.5%'``."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_matrix(
+    labels: list[str], matrix: np.ndarray, digits: int = 2
+) -> str:
+    """Square matrix (e.g. correlations) with row/column labels."""
+    short = [_shorten(label) for label in labels]
+    width = max(max(len(s) for s in short), digits + 3)
+    header = " " * (width + 1) + " ".join(s.rjust(width) for s in short)
+    lines = [header]
+    for label, row in zip(short, matrix):
+        cells = " ".join(f"{value:+.{digits}f}".rjust(width) for value in row)
+        lines.append(f"{label.rjust(width)} {cells}")
+    return "\n".join(lines)
+
+
+def heatmap(labels: list[str], matrix: np.ndarray, width: int = 60) -> str:
+    """Row-per-series sparkline heatmap (Figure-4 style)."""
+    name_width = max(len(label) for label in labels)
+    lines = [
+        f"{label.ljust(name_width)} |{sparkline(row, width)}|"
+        for label, row in zip(labels, matrix)
+    ]
+    return "\n".join(lines)
+
+
+def _shorten(label: str) -> str:
+    return (
+        label.replace("Netscout", "NS")
+        .replace("Akamai", "AK")
+        .replace("Hopscotch", "Hop")
+        .replace(" (", "(")
+    )

@@ -1,0 +1,79 @@
+"""Attack-class share analysis (paper Figure 5).
+
+Netscout observes both attack classes on one platform; the weekly share of
+reflection-amplification vs direct-path attacks (by absolute counts) shows
+a shift toward direct-path attacks, crossing the 50% mark for the last
+time in 2021Q2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.timeseries import ewma
+from repro.util.calendar import StudyCalendar
+
+
+@dataclass
+class ShareSeries:
+    """Weekly shares of two complementary attack classes."""
+
+    label: str
+    dp_share: np.ndarray
+    ra_share: np.ndarray
+    calendar: StudyCalendar
+
+    @property
+    def smoothed_ra_share(self) -> np.ndarray:
+        """EWMA (span 12) of the RA share, used for crossing detection —
+        single noisy weeks should not move the crossing marker."""
+        return ewma(self.ra_share)
+
+    def last_crossing_week(self, level: float = 0.5) -> int | None:
+        """Last week where the smoothed RA share falls below ``level``.
+
+        Returns the week index of the crossing (the first week below the
+        level after the last week at-or-above it), or ``None`` if the RA
+        share never reaches the level or never drops below it afterwards.
+        """
+        smoothed = self.smoothed_ra_share
+        at_or_above = np.flatnonzero(smoothed >= level)
+        if len(at_or_above) == 0:
+            return None
+        last_above = int(at_or_above[-1])
+        if last_above + 1 >= len(smoothed):
+            return None
+        return last_above + 1
+
+    def last_crossing_quarter(self, level: float = 0.5) -> str | None:
+        """Calendar quarter of the last crossing (the paper reports 2021Q2)."""
+        week = self.last_crossing_week(level)
+        if week is None:
+            return None
+        return self.calendar.week(week).quarter
+
+
+def share_series(
+    label: str,
+    dp_counts: np.ndarray,
+    ra_counts: np.ndarray,
+    calendar: StudyCalendar,
+) -> ShareSeries:
+    """Weekly class shares from two absolute-count series.
+
+    Weeks where both classes report zero attacks get a 0.5/0.5 split so
+    downstream crossing detection is well defined.
+    """
+    dp_counts = np.asarray(dp_counts, dtype=np.float64)
+    ra_counts = np.asarray(ra_counts, dtype=np.float64)
+    if dp_counts.shape != ra_counts.shape:
+        raise ValueError("count series must have equal length")
+    total = dp_counts + ra_counts
+    safe_total = np.where(total == 0, 1.0, total)
+    dp_share = np.where(total == 0, 0.5, dp_counts / safe_total)
+    ra_share = np.where(total == 0, 0.5, ra_counts / safe_total)
+    return ShareSeries(
+        label=label, dp_share=dp_share, ra_share=ra_share, calendar=calendar
+    )

@@ -1,0 +1,71 @@
+"""Target identity and per-week target series (paper Section 7).
+
+The paper identifies a target as the tuple *(attack start date, target IP
+address)* and deduplicates the resulting set; weekly plots count distinct
+per-day tuples summed over the week.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.observatories.base import Observations
+from repro.util.calendar import StudyCalendar
+
+#: A target identity: (study-day index, target IP as int).
+TargetTuple = tuple[int, int]
+
+
+def target_tuples(observations: Observations) -> set[TargetTuple]:
+    """Distinct (day, IP) tuples of one observatory."""
+    return observations.target_tuples()
+
+
+def distinct_ips(tuples: set[TargetTuple]) -> set[int]:
+    """Distinct IPs among target tuples."""
+    return {ip for _, ip in tuples}
+
+
+def weekly_tuple_counts(
+    tuples: set[TargetTuple], calendar: StudyCalendar
+) -> np.ndarray:
+    """Distinct per-day tuples summed per week (Figure 10's series)."""
+    counts = np.zeros(calendar.n_weeks, dtype=np.float64)
+    for day, _ in tuples:
+        week = day // 7
+        if week < calendar.n_weeks:
+            counts[week] += 1
+    return counts
+
+
+def split_new_recurring(
+    tuples: set[TargetTuple], calendar: StudyCalendar
+) -> tuple[np.ndarray, np.ndarray]:
+    """Weekly counts of first-time vs recurring target IPs (Figure 8).
+
+    A tuple is *new* if its IP has not appeared on any earlier day.
+    Returns (new_per_week, recurring_per_week).
+    """
+    new_counts = np.zeros(calendar.n_weeks, dtype=np.float64)
+    recurring_counts = np.zeros(calendar.n_weeks, dtype=np.float64)
+    seen: set[int] = set()
+    for day, ip in sorted(tuples):
+        week = day // 7
+        if week >= calendar.n_weeks:
+            continue
+        if ip in seen:
+            recurring_counts[week] += 1
+        else:
+            seen.add(ip)
+            new_counts[week] += 1
+    return new_counts, recurring_counts
+
+
+def cumulative_share(values: np.ndarray) -> np.ndarray:
+    """CDF over weeks: cumulative sum normalised to 1 (Figure 8's dashed
+    line).  All-zero input yields all zeros."""
+    values = np.asarray(values, dtype=np.float64)
+    total = values.sum()
+    if total == 0:
+        return np.zeros_like(values)
+    return np.cumsum(values) / total

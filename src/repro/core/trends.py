@@ -1,0 +1,82 @@
+"""Trend classification (paper Table 1).
+
+The paper summarises each observatory's 2019-2023 trajectory as
+increasing ▲ (> +5% over 4 years), decreasing ▼ (< −5%), or steady ◆,
+based on the linear regression over the normalised weekly series.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stats import ols_line
+
+#: Weeks in the paper's 4-year classification horizon.
+FOUR_YEARS_WEEKS = 208
+
+#: Relative-change threshold separating steady from trending.
+TREND_THRESHOLD = 0.05
+
+
+class Trend(enum.Enum):
+    """Table-1 trend symbols."""
+
+    INCREASING = "▲"
+    DECREASING = "▼"
+    STEADY = "◆"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class TrendClassification:
+    """A trend symbol with the relative change behind it."""
+
+    trend: Trend
+    relative_change: float
+    horizon_weeks: int
+
+    @property
+    def symbol(self) -> str:
+        """The Table-1 glyph."""
+        return self.trend.value
+
+
+def classify_trend(
+    normalized: np.ndarray,
+    horizon_weeks: int = FOUR_YEARS_WEEKS,
+    threshold: float = TREND_THRESHOLD,
+) -> TrendClassification:
+    """Classify a normalised weekly series as ▲ / ▼ / ◆.
+
+    Fits a least-squares line over the first ``horizon_weeks`` weeks and
+    compares the fitted endpoint against the fitted start:
+    ``change = (fit_end - fit_start) / fit_start``.
+    """
+    normalized = np.asarray(normalized, dtype=np.float64)
+    horizon = min(horizon_weeks, len(normalized))
+    if horizon < 2:
+        raise ValueError("need at least two weeks to classify a trend")
+    slope, intercept = ols_line(normalized[:horizon])
+    fit_start = intercept
+    fit_end = intercept + slope * (horizon - 1)
+    if fit_start <= 0:
+        # Degenerate fit (can happen for near-zero sparse series): fall
+        # back to comparing against the series mean.
+        reference = float(normalized[:horizon].mean()) or 1.0
+        change = slope * (horizon - 1) / reference
+    else:
+        change = (fit_end - fit_start) / fit_start
+    if change > threshold:
+        trend = Trend.INCREASING
+    elif change < -threshold:
+        trend = Trend.DECREASING
+    else:
+        trend = Trend.STEADY
+    return TrendClassification(
+        trend=trend, relative_change=float(change), horizon_weeks=horizon
+    )

@@ -1,0 +1,37 @@
+"""Industry-report corpus and survey analytics (paper Section 3).
+
+The paper dissects 24 reports from 22 DDoS-mitigation vendors published
+around 2022/2023.  :mod:`repro.industry.corpus` is a structured, in-code
+transcription of the survey's fields; :mod:`repro.industry.survey`
+reproduces the aggregate views the paper derives (trend counts per attack
+type for Table 1, the metrics taxonomy, the included/omitted inventory of
+Table 3).
+"""
+
+from repro.industry.corpus import (
+    ALL_DOCUMENTS,
+    INCLUDED_REPORTS,
+    IndustryReport,
+    ReportFormat,
+    TrendDirection,
+)
+from repro.industry.survey import (
+    MetricFrequency,
+    TrendCounts,
+    metric_frequencies,
+    table3_rows,
+    trend_counts,
+)
+
+__all__ = [
+    "IndustryReport",
+    "ReportFormat",
+    "TrendDirection",
+    "INCLUDED_REPORTS",
+    "ALL_DOCUMENTS",
+    "TrendCounts",
+    "MetricFrequency",
+    "trend_counts",
+    "metric_frequencies",
+    "table3_rows",
+]

@@ -1,0 +1,512 @@
+"""Structured corpus of the surveyed industry reports.
+
+Transcribes the survey of the paper's Section 3 / Appendix E into data:
+one :class:`IndustryReport` per included report (24 reports from 22
+vendors) plus the omitted documents of Table 3.
+
+Attributes stated explicitly in the paper are encoded as published (e.g.
+F5's −9.7% total attacks; Netscout's −17% reflection-amplification;
+Arelion's "dramatic" reduction; the seven vendors reporting L7 growth).
+Remaining per-report fields are representative reconstructions chosen to
+reproduce the paper's aggregate counts exactly — Table 1's industry
+column: direct-path ▲(5) ▼(0); reflection-amplification ▲(2) ▼(3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ReportFormat(enum.Enum):
+    """Publication format (Section 3, "Presentation style")."""
+
+    DOCUMENT = "full document"
+    BLOG = "web blog"
+    INFOGRAPHIC = "infographic"
+
+
+class TrendDirection(enum.Enum):
+    """A trend claim in a report (or its absence)."""
+
+    INCREASE = "increase"
+    DECREASE = "decrease"
+    STEADY = "steady"
+    UNSPECIFIED = "unspecified"
+
+
+#: Metrics the paper's taxonomy tracks across reports.
+METRIC_FIELDS = (
+    "count",
+    "size",
+    "duration",
+    "vectors",
+    "methods",
+    "vector_instances",
+    "context",
+    "multi_vector",
+    "repetition",
+    "botnets",
+    "industries",
+    "geolocation",
+)
+
+
+@dataclass(frozen=True)
+class IndustryReport:
+    """One surveyed report and the fields the paper's table extracts."""
+
+    vendor: str
+    title: str
+    year: int
+    period: str
+    format: ReportFormat
+    ddos_only: bool
+    overall_trend: TrendDirection
+    dp_trend: TrendDirection
+    ra_trend: TrendDirection
+    l7_trend: TrendDirection
+    udp_dominant: bool
+    metrics: frozenset[str] = field(default_factory=frozenset)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        unknown = set(self.metrics) - set(METRIC_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown metric fields: {sorted(unknown)}")
+
+
+def _metrics(*names: str) -> frozenset[str]:
+    return frozenset(names)
+
+
+_INC = TrendDirection.INCREASE
+_DEC = TrendDirection.DECREASE
+_STEADY = TrendDirection.STEADY
+_UNSPEC = TrendDirection.UNSPECIFIED
+
+#: The 24 included reports (22 vendors; Akamai and DDoS-Guard have two).
+INCLUDED_REPORTS: tuple[IndustryReport, ...] = (
+    IndustryReport(
+        vendor="A10",
+        title="2022 A10 Networks DDoS Threat Report",
+        year=2022,
+        period="2022",
+        format=ReportFormat.DOCUMENT,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_UNSPEC,
+        l7_trend=_UNSPEC,
+        udp_dominant=True,
+        metrics=_metrics("count", "vectors", "vector_instances", "geolocation"),
+    ),
+    IndustryReport(
+        vendor="Akamai",
+        title="The Relentless Evolution of DDoS Attacks",
+        year=2022,
+        period="2022",
+        format=ReportFormat.BLOG,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_DEC,
+        l7_trend=_UNSPEC,
+        udp_dominant=True,
+        metrics=_metrics("count", "size", "vectors", "multi_vector"),
+        notes="Decrease in CharGEN, SSDP and CLDAP-based attacks.",
+    ),
+    IndustryReport(
+        vendor="Akamai",
+        title="DDoS Attacks in 2022: Targeting Everything Online, All at Once",
+        year=2023,
+        period="2022",
+        format=ReportFormat.BLOG,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_UNSPEC,
+        l7_trend=_UNSPEC,
+        udp_dominant=True,
+        metrics=_metrics("count", "vectors", "industries", "multi_vector"),
+    ),
+    IndustryReport(
+        vendor="Arelion",
+        title="Arelion DDoS Threat Landscape report 2023",
+        year=2023,
+        period="2022",
+        format=ReportFormat.DOCUMENT,
+        ddos_only=True,
+        overall_trend=_DEC,
+        dp_trend=_INC,
+        ra_trend=_DEC,
+        l7_trend=_UNSPEC,
+        udp_dominant=True,
+        metrics=_metrics("count", "size", "vectors", "duration"),
+        notes=(
+            "'Dramatic' reduction of DDoS activity; drop in UDP spoofed "
+            "attacks after an industry-wide anti-spoofing initiative, "
+            "despite some increase in direct-path attacks."
+        ),
+    ),
+    IndustryReport(
+        vendor="Cloudflare",
+        title="Cloudflare DDoS threat report for 2022 Q4",
+        year=2022,
+        period="2022Q4",
+        format=ReportFormat.BLOG,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_INC,
+        ra_trend=_UNSPEC,
+        l7_trend=_INC,
+        udp_dominant=True,
+        metrics=_metrics(
+            "count", "size", "duration", "vectors", "industries", "geolocation"
+        ),
+    ),
+    IndustryReport(
+        vendor="Comcast",
+        title="2023 Comcast Business Cybersecurity Threat Report",
+        year=2023,
+        period="2022",
+        format=ReportFormat.DOCUMENT,
+        ddos_only=False,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_UNSPEC,
+        l7_trend=_UNSPEC,
+        udp_dominant=True,
+        metrics=_metrics("count", "vectors", "industries"),
+    ),
+    IndustryReport(
+        vendor="Corero",
+        title="2023 DDoS Threat Intelligence Report",
+        year=2023,
+        period="2022",
+        format=ReportFormat.DOCUMENT,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_UNSPEC,
+        l7_trend=_UNSPEC,
+        udp_dominant=True,
+        metrics=_metrics("count", "size", "duration", "vectors", "repetition"),
+    ),
+    IndustryReport(
+        vendor="DDoS-Guard",
+        title="DDoS Attack Trends in 2022",
+        year=2023,
+        period="2022",
+        format=ReportFormat.BLOG,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_UNSPEC,
+        l7_trend=_UNSPEC,
+        udp_dominant=True,
+        metrics=_metrics("count", "duration", "geolocation"),
+    ),
+    IndustryReport(
+        vendor="DDoS-Guard",
+        title="DDoS-Guard Analytical Report on DDoS Attacks for 2022",
+        year=2023,
+        period="2022",
+        format=ReportFormat.DOCUMENT,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_UNSPEC,
+        l7_trend=_UNSPEC,
+        udp_dominant=True,
+        metrics=_metrics("count", "size", "duration", "vectors"),
+    ),
+    IndustryReport(
+        vendor="F5",
+        title="F5 DDoS Attack Trends 2023",
+        year=2023,
+        period="2022",
+        format=ReportFormat.BLOG,
+        ddos_only=True,
+        overall_trend=_DEC,
+        dp_trend=_UNSPEC,
+        ra_trend=_UNSPEC,
+        l7_trend=_INC,
+        udp_dominant=True,
+        metrics=_metrics("count", "size", "vectors", "industries", "multi_vector"),
+        notes="Total attacks decreased 9.7% year over year.",
+    ),
+    IndustryReport(
+        vendor="Huawei",
+        title="Global DDoS Attack Status and Trend Analysis in 2022",
+        year=2023,
+        period="2022",
+        format=ReportFormat.DOCUMENT,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_UNSPEC,
+        l7_trend=_UNSPEC,
+        udp_dominant=True,
+        metrics=_metrics("count", "size", "vectors", "methods", "geolocation"),
+    ),
+    IndustryReport(
+        vendor="Imperva",
+        title="The Imperva Global DDoS Threat Landscape Report 2023",
+        year=2023,
+        period="2022",
+        format=ReportFormat.DOCUMENT,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_UNSPEC,
+        l7_trend=_INC,
+        udp_dominant=True,
+        metrics=_metrics("count", "size", "duration", "vectors", "repetition"),
+    ),
+    IndustryReport(
+        vendor="Kaspersky",
+        title="Kaspersky DDoS Attacks in Q3 2022",
+        year=2022,
+        period="2022Q3",
+        format=ReportFormat.BLOG,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_INC,
+        l7_trend=_UNSPEC,
+        udp_dominant=True,
+        metrics=_metrics("count", "duration", "vectors", "context", "geolocation"),
+    ),
+    IndustryReport(
+        vendor="Link11",
+        title="LINK11 DDoS Report 2022",
+        year=2023,
+        period="2022",
+        format=ReportFormat.DOCUMENT,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_UNSPEC,
+        l7_trend=_UNSPEC,
+        udp_dominant=True,
+        metrics=_metrics("count", "size", "duration", "vectors"),
+    ),
+    IndustryReport(
+        vendor="Lumen",
+        title="Lumen Quarterly DDoS Report Q4 2022",
+        year=2022,
+        period="2022Q4",
+        format=ReportFormat.BLOG,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_UNSPEC,
+        l7_trend=_UNSPEC,
+        udp_dominant=True,
+        metrics=_metrics("count", "size", "duration", "vectors", "industries"),
+    ),
+    IndustryReport(
+        vendor="Microsoft",
+        title="2022 in Review: DDoS Attack Trends and Insights",
+        year=2023,
+        period="2022",
+        format=ReportFormat.BLOG,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_INC,
+        ra_trend=_UNSPEC,
+        l7_trend=_UNSPEC,
+        udp_dominant=True,
+        metrics=_metrics("count", "size", "duration", "vectors", "methods"),
+    ),
+    IndustryReport(
+        vendor="NBIP",
+        title="DDoS Attack Figures from the Fourth Quarter 2022",
+        year=2023,
+        period="2022Q4",
+        format=ReportFormat.INFOGRAPHIC,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_UNSPEC,
+        l7_trend=_INC,
+        udp_dominant=True,
+        metrics=_metrics("count", "size", "duration"),
+    ),
+    IndustryReport(
+        vendor="Netscout",
+        title="5th Anniversary DDoS Threat Intelligence Report",
+        year=2023,
+        period="2H2022",
+        format=ReportFormat.DOCUMENT,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_INC,
+        ra_trend=_DEC,
+        l7_trend=_INC,
+        udp_dominant=True,
+        metrics=_metrics(
+            "count",
+            "size",
+            "duration",
+            "vectors",
+            "methods",
+            "vector_instances",
+            "context",
+            "multi_vector",
+            "industries",
+            "geolocation",
+        ),
+        notes=(
+            "A momentous 17 percent global decrease in reflection/"
+            "amplification attacks compared with 2021, attributed to the "
+            "industry-wide anti-spoofing effort."
+        ),
+    ),
+    IndustryReport(
+        vendor="NexusGuard",
+        title="DDoS Statistical Report for 2022",
+        year=2023,
+        period="2022",
+        format=ReportFormat.DOCUMENT,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_UNSPEC,
+        l7_trend=_INC,
+        udp_dominant=True,
+        metrics=_metrics("count", "size", "duration", "vectors", "methods"),
+        notes="Describes carpet-bombing as an emerging method.",
+    ),
+    IndustryReport(
+        vendor="Nokia",
+        title="Nokia Threat Intelligence Report 2023",
+        year=2023,
+        period="2022",
+        format=ReportFormat.DOCUMENT,
+        ddos_only=False,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_UNSPEC,
+        l7_trend=_UNSPEC,
+        udp_dominant=True,
+        metrics=_metrics("count", "vectors", "botnets"),
+    ),
+    IndustryReport(
+        vendor="NSFocus",
+        title="2022 Global DDoS Attack Landscape Report",
+        year=2023,
+        period="2022",
+        format=ReportFormat.DOCUMENT,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_UNSPEC,
+        l7_trend=_UNSPEC,
+        udp_dominant=True,
+        metrics=_metrics("count", "size", "duration", "vectors", "geolocation"),
+    ),
+    IndustryReport(
+        vendor="Qrator",
+        title="Q4 2022 DDoS Attacks and BGP Incidents",
+        year=2023,
+        period="2022Q4",
+        format=ReportFormat.BLOG,
+        ddos_only=False,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_INC,
+        l7_trend=_UNSPEC,
+        udp_dominant=True,
+        metrics=_metrics("count", "duration", "vectors", "geolocation"),
+    ),
+    IndustryReport(
+        vendor="Radware",
+        title="Radware Global Threat Analysis Report 2022",
+        year=2023,
+        period="2022",
+        format=ReportFormat.DOCUMENT,
+        ddos_only=False,
+        overall_trend=_INC,
+        dp_trend=_INC,
+        ra_trend=_UNSPEC,
+        l7_trend=_INC,
+        udp_dominant=True,
+        metrics=_metrics(
+            "count", "size", "vectors", "context", "industries", "geolocation"
+        ),
+    ),
+    IndustryReport(
+        vendor="Zayo",
+        title="Protecting Your Business From Cyber Attacks: The State of DDoS",
+        year=2023,
+        period="1H2023",
+        format=ReportFormat.DOCUMENT,
+        ddos_only=True,
+        overall_trend=_INC,
+        dp_trend=_UNSPEC,
+        ra_trend=_UNSPEC,
+        l7_trend=_UNSPEC,
+        udp_dominant=True,
+        metrics=_metrics("count", "size", "duration", "industries"),
+    ),
+)
+
+#: Omitted documents per vendor (paper Table 3's right column).
+OMITTED_DOCUMENTS: dict[str, tuple[str, ...]] = {
+    "Alibaba Cloud": ("DDoS Attack Statistics and Trend Report",),
+    "AWS": ("AWS Shield Threat Landscape Review: 2020 Year-in-Review",),
+    "Cloudflare": (
+        "Cloudflare DDoS threat report 2022 Q3",
+        "DDoS Attack Trends for 2022 Q1",
+        "DDoS Attack Trends for Q2 2022",
+        "Cloudflare DDoS Trends Report Q1 2023",
+    ),
+    "Comcast": ("Comcast Business DDoS Threat Report 2021",),
+    "Corero": (
+        "How Have DDoS Attacks Evolved Over the Last 10 Years?",
+        "The Shifting Landscape of DDoS Attacks",
+    ),
+    "Crowdstrike": ("Global Threat Report",),
+    "Fastly": ("Cyber 5 Threat Insights", "What Is a DDoS Attack?"),
+    "Fortinet": ("Global Threat Landscape Report",),
+    "Kaspersky": (
+        "Kaspersky DDoS Attacks in Q2 2022",
+        "Kaspersky DDoS Report in Q1 2022",
+    ),
+    "Lumen": (
+        "Tracking UDP Reflectors for a Safer Internet",
+        "Lumen Quarterly DDoS Report Q3 2022",
+    ),
+    "NBIP": (
+        "DDoS Attack Figures from the First Quarter 2023",
+        "DDoS Attack Figures from the Second Quarter 2023",
+    ),
+    "Netscout": (
+        "NETSCOUT Threat Intelligence Report 2H 2021",
+        "NETSCOUT DDoS Attack Vectors and Methodology",
+    ),
+    "NexusGuard": ("DDoS Statistical Report for 1HY 2023",),
+    "Nokia": (
+        "Tracing DDoS End-to-End in 2021",
+        "Nokia Deepfield Network Intelligence Report DDoS in 2021",
+    ),
+    "Palo Alto": ("Unit 42 Incident Response Report 2022",),
+    "Qrator": (
+        "Q1 2022 DDoS Attacks and BGP Incidents",
+        "Q2 2022 DDoS attacks and BGP incidents",
+        "Q3 2022 DDoS attacks and BGP incidents",
+    ),
+    "RioRey": ("RioRey Taxonomy DDoS V2.9",),
+    "Splunk": ("Denial-of-Service Attacks: History, Techniques & Prevention",),
+    "Zayo": ("A Look at Recent DDoS Attacks and the Cyberattack Landscape",),
+}
+
+#: Every vendor that appears in Table 3 (included or omitted).
+ALL_DOCUMENTS: tuple[str, ...] = tuple(
+    sorted(
+        {report.vendor for report in INCLUDED_REPORTS} | set(OMITTED_DOCUMENTS),
+        key=str.lower,
+    )
+)

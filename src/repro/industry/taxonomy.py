@@ -1,0 +1,234 @@
+"""Taxonomy of DDoS literature (paper Section 8 / Appendix C).
+
+The paper contributes a "mindmap" taxonomy of recent DDoS research
+(Figure 11).  This module encodes that taxonomy as a queryable tree of
+categories and representative works, reconstructed from the works the
+paper cites in Section 8 and Appendix C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Work:
+    """One cited study."""
+
+    first_author: str
+    year: int
+    venue: str
+    topic: str
+
+    @property
+    def label(self) -> str:
+        """Compact citation label, e.g. ``Rossow 2014 (NDSS)``."""
+        return f"{self.first_author} {self.year} ({self.venue})"
+
+
+@dataclass
+class Category:
+    """A taxonomy node: works plus nested subcategories."""
+
+    name: str
+    works: list[Work] = field(default_factory=list)
+    children: list["Category"] = field(default_factory=list)
+
+    def all_works(self) -> Iterator[Work]:
+        """Every work in this subtree."""
+        yield from self.works
+        for child in self.children:
+            yield from child.all_works()
+
+    def find(self, name: str) -> "Category | None":
+        """Locate a subcategory by name (depth-first)."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+def _w(author: str, year: int, venue: str, topic: str) -> Work:
+    return Work(first_author=author, year=year, venue=venue, topic=topic)
+
+
+#: The taxonomy tree (Appendix C, Figure 11), reconstructed from Section 8.
+TAXONOMY = Category(
+    name="DDoS literature",
+    children=[
+        Category(
+            name="Attack characterization",
+            children=[
+                Category(
+                    name="Macroscopic quantification",
+                    works=[
+                        _w("Moore", 2006, "ToCS", "backscatter-based DoS inference"),
+                        _w("Jonker", 2017, "IMC", "millions of targets under attack"),
+                        _w("Blenn", 2017, "ARES", "DoS spectrum via backscatter"),
+                        _w("Thomas", 2017, "eCrime", "1000 days of UDP amplification"),
+                        _w("Griffioen", 2020, "IFIP Networking", "SYN DDoS resilience"),
+                        _w("Ghiette", 2018, "WTMC", "media-triggered copycat storms"),
+                    ],
+                ),
+                Category(
+                    name="Abusable protocols",
+                    works=[
+                        _w("Rossow", 2014, "NDSS", "amplification hell"),
+                        _w("Kührer", 2014, "WOOT", "TCP reflective amplification"),
+                        _w("Sargent", 2017, "CCR", "IGMP abuse potential"),
+                        _w("Nawrocki", 2021, "IMC", "QUIC reconnaissance and floods"),
+                        _w("van der Toorn", 2021, "CNSM", "domain amplification potential"),
+                        _w("Kühne", 2014, "RIPE Labs", "NTP reflections"),
+                    ],
+                ),
+                Category(
+                    name="Amplifier infrastructure",
+                    works=[
+                        _w("Kührer", 2014, "USENIX Sec", "reducing amplifier impact"),
+                        _w("Nawrocki", 2021, "CoNEXT", "transparent DNS forwarders"),
+                        _w("Krupp", 2016, "CCS", "scan and attack infrastructures"),
+                        _w("Kopp", 2021, "PAM", "IXP view on amplification"),
+                        _w("Nawrocki", 2021, "IMC", "far side of DNS amplification"),
+                    ],
+                ),
+                Category(
+                    name="New attack vectors",
+                    works=[
+                        _w("Bock", 2021, "USENIX Sec", "weaponizing middleboxes"),
+                        _w("Moura", 2021, "IMC", "TsuNAME DNS vulnerability"),
+                        _w("Burton", 2019, "arXiv", "DNS DDoS characterization"),
+                        _w("Heinrich", 2021, "PAM", "multiprotocol carpet bombing"),
+                    ],
+                ),
+                Category(
+                    name="Criminal TTPs",
+                    works=[
+                        _w("Griffioen", 2021, "CCS", "scan, test, execute"),
+                        _w("Hiesgen", 2022, "USENIX Sec", "Spoki reactive telescope"),
+                        _w("Krupp", 2017, "RAID", "linking attacks to booters"),
+                        _w("Noroozian", 2016, "RAID", "DDoS-as-a-service victimization"),
+                        _w("Samra", 2023, "CoNEXT", "DDoS2Vec flow characterization"),
+                    ],
+                ),
+            ],
+        ),
+        Category(
+            name="Mitigation",
+            children=[
+                Category(
+                    name="Blackholing and RTBH",
+                    works=[
+                        _w("Giotsas", 2017, "IMC", "inferring BGP blackholing"),
+                        _w("Nawrocki", 2019, "IMC", "IXP blackholing operations"),
+                        _w("Jonker", 2018, "IMC", "DoS attacks meet BGP blackholing"),
+                        _w("Hinze", 2018, "SIGCOMM", "Flowspec potential"),
+                        _w("Anghel", 2023, "ESORICS", "UTRS adoption"),
+                    ],
+                ),
+                Category(
+                    name="Scrubbing and protection services",
+                    works=[
+                        _w("Jonker", 2016, "IMC", "DPS adoption measurement"),
+                        _w("Moura", 2020, "WTMC", "longitudinal scrubbing study"),
+                        _w("Tung", 2018, "NSS", "BGP-based protection behaviour"),
+                        _w("Dietzel", 2018, "CoNEXT", "Stellar advanced blackholing"),
+                        _w("Wichtlhuber", 2022, "SIGCOMM", "ML-driven IXP scrubber"),
+                    ],
+                ),
+                Category(
+                    name="Anycast and DNS resilience",
+                    works=[
+                        _w("Moura", 2016, "IMC", "anycast vs root DNS event"),
+                        _w("Moura", 2018, "IMC", "DNS defenses during DDoS"),
+                        _w("Rizvi", 2022, "USENIX Sec", "anycast agility playbooks"),
+                        _w("Schomp", 2020, "SIGCOMM", "Akamai DNS architecture"),
+                    ],
+                ),
+                Category(
+                    name="Collaborative defense",
+                    works=[
+                        _w("Wagner", 2021, "CCS", "collaborative IXP mitigation"),
+                        _w("Krupp", 2021, "EuroS&P", "BGP-based traceback"),
+                        _w("van den Hout", 2022, "CONCORDIA", "DDoS clearing house"),
+                    ],
+                ),
+                Category(
+                    name="Interventions and prevention",
+                    works=[
+                        _w("Collier", 2019, "IMC", "booter takedown effects"),
+                        _w("Kopp", 2019, "IMC", "booter takedown effectiveness"),
+                        _w("Moneva", 2023, "Criminology&PP", "ad-campaign deterrence"),
+                        _w("Luckie", 2019, "CCS", "source address validation"),
+                        _w("Du", 2022, "IMC", "MANRS ecosystem"),
+                        _w("Collier", 2022, "BD&S", "influence policing ethics"),
+                    ],
+                ),
+            ],
+        ),
+        Category(
+            name="Observatories and methods",
+            children=[
+                Category(
+                    name="Network telescopes",
+                    works=[
+                        _w("Pang", 2004, "IMC", "background radiation"),
+                        _w("Wustrow", 2010, "IMC", "background radiation revisited"),
+                        _w("Hiesgen", 2022, "USENIX Sec", "reactive telescopes"),
+                    ],
+                ),
+                Category(
+                    name="Honeypots",
+                    works=[
+                        _w("Krämer", 2015, "RAID", "AmpPot"),
+                        _w("Thomas", 2017, "eCrime", "Hopscotch"),
+                        _w("Heinrich", 2021, "PAM", "NewKid"),
+                        _w("Nawrocki", 2023, "EuroS&P", "SoK on honeypot methods"),
+                        _w("Griffioen", 2021, "CCS", "HPI honeypot tactics"),
+                    ],
+                ),
+                Category(
+                    name="Cross-dataset studies",
+                    works=[
+                        _w("Jonker", 2017, "IMC", "telescope + honeypot macroscopic"),
+                        _w("Jonker", 2018, "IMC", "attacks and blackholing jointly"),
+                        _w("Nawrocki", 2023, "EuroS&P", "honeypot dataset overlap"),
+                        _w("Kopp", 2021, "PAM", "IXP and honeypot overlap"),
+                    ],
+                ),
+            ],
+        ),
+    ],
+)
+
+
+def all_works() -> list[Work]:
+    """Every work in the taxonomy (with duplicates across branches kept)."""
+    return list(TAXONOMY.all_works())
+
+
+def works_by_year() -> dict[int, int]:
+    """Publication-year histogram."""
+    histogram: dict[int, int] = {}
+    for work in all_works():
+        histogram[work.year] = histogram.get(work.year, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def render_taxonomy() -> str:
+    """Plain-text tree of the Appendix-C mindmap."""
+    lines: list[str] = []
+
+    def visit(category: Category, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(f"{indent}{category.name}")
+        for work in category.works:
+            lines.append(f"{indent}  - {work.label}: {work.topic}")
+        for child in category.children:
+            visit(child, depth + 1)
+
+    visit(TAXONOMY, 0)
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Network substrate: IPv4 addressing, prefix tables, RIRs, ASes, routing.
+
+The paper's target-attribution and carpet-bombing analyses need a consistent
+IPv4 world: RIR allocation blocks, AS-owned prefixes, and a BGP routing table
+supporting longest-prefix match.  Real CAIDA prefix-to-AS and RIR delegation
+files are not distributable, so :mod:`repro.net.plan` builds a
+synthetic-but-realistic Internet address plan whose heavy-hitter ASes are
+labelled with the providers the paper reports (Table 4).
+"""
+
+from repro.net.addr import (
+    IPV4_MAX,
+    Prefix,
+    common_prefix,
+    format_ip,
+    parse_ip,
+    parse_prefix,
+)
+from repro.net.asn import ASInfo, ASKind, ASRegistry
+from repro.net.plan import InternetPlan, PlanConfig, build_internet_plan
+from repro.net.rir import AllocationBlock, RirRegistry
+from repro.net.routing import RoutingTable
+from repro.net.trie import PrefixTable
+
+__all__ = [
+    "IPV4_MAX",
+    "Prefix",
+    "common_prefix",
+    "format_ip",
+    "parse_ip",
+    "parse_prefix",
+    "PrefixTable",
+    "AllocationBlock",
+    "RirRegistry",
+    "ASInfo",
+    "ASKind",
+    "ASRegistry",
+    "RoutingTable",
+    "InternetPlan",
+    "PlanConfig",
+    "build_internet_plan",
+]

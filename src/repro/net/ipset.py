@@ -1,0 +1,169 @@
+"""IPv4 address sets with interval arithmetic.
+
+Telescope footprints, customer cones, and carpet-attack spans are all
+sets of addresses best handled as sorted disjoint intervals.  ``IPSet``
+supports union/intersection/difference, membership, prefix decomposition,
+and uniform sampling — in O(n log n) for n intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.net.addr import IPV4_MAX, Prefix
+
+
+class IPSet:
+    """An immutable set of IPv4 addresses as disjoint, sorted intervals."""
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self, intervals: Iterable[tuple[int, int]] = ()) -> None:
+        """Build from (first, last)-inclusive address pairs (any order,
+        overlaps allowed — they are normalised away)."""
+        cleaned: list[tuple[int, int]] = []
+        for first, last in intervals:
+            if first > last:
+                raise ValueError(f"inverted interval: {first} > {last}")
+            if first < 0 or last > IPV4_MAX:
+                raise ValueError("interval outside IPv4 space")
+            cleaned.append((first, last))
+        cleaned.sort()
+        merged: list[tuple[int, int]] = []
+        for first, last in cleaned:
+            if merged and first <= merged[-1][1] + 1:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], last))
+            else:
+                merged.append((first, last))
+        self._starts = tuple(first for first, _ in merged)
+        self._ends = tuple(last for _, last in merged)
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_prefixes(cls, prefixes: Iterable[Prefix]) -> "IPSet":
+        """Union of prefixes."""
+        return cls((prefix.first, prefix.last) for prefix in prefixes)
+
+    @classmethod
+    def everything(cls) -> "IPSet":
+        """All of IPv4."""
+        return cls([(0, IPV4_MAX)])
+
+    # -- basics -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of addresses (not intervals)."""
+        return sum(
+            end - start + 1 for start, end in zip(self._starts, self._ends)
+        )
+
+    @property
+    def interval_count(self) -> int:
+        """Number of disjoint intervals."""
+        return len(self._starts)
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __contains__(self, address: int) -> bool:
+        import bisect
+
+        index = bisect.bisect_right(self._starts, address) - 1
+        return index >= 0 and address <= self._ends[index]
+
+    def intervals(self) -> Iterator[tuple[int, int]]:
+        """The disjoint intervals, ascending."""
+        return iter(zip(self._starts, self._ends))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IPSet):
+            return NotImplemented
+        return self._starts == other._starts and self._ends == other._ends
+
+    def __hash__(self) -> int:
+        return hash((self._starts, self._ends))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IPSet({self.interval_count} intervals, {len(self)} addresses)"
+
+    # -- algebra ------------------------------------------------------------------
+
+    def union(self, other: "IPSet") -> "IPSet":
+        """Set union."""
+        return IPSet(list(self.intervals()) + list(other.intervals()))
+
+    def intersection(self, other: "IPSet") -> "IPSet":
+        """Set intersection (two-pointer sweep)."""
+        result: list[tuple[int, int]] = []
+        i = j = 0
+        while i < self.interval_count and j < other.interval_count:
+            start = max(self._starts[i], other._starts[j])
+            end = min(self._ends[i], other._ends[j])
+            if start <= end:
+                result.append((start, end))
+            if self._ends[i] < other._ends[j]:
+                i += 1
+            else:
+                j += 1
+        return IPSet(result)
+
+    def difference(self, other: "IPSet") -> "IPSet":
+        """Addresses in self but not in other."""
+        result: list[tuple[int, int]] = []
+        j = 0
+        for start, end in self.intervals():
+            cursor = start
+            while j < other.interval_count and other._ends[j] < cursor:
+                j += 1
+            k = j
+            while k < other.interval_count and other._starts[k] <= end:
+                hole_start, hole_end = other._starts[k], other._ends[k]
+                if hole_start > cursor:
+                    result.append((cursor, hole_start - 1))
+                cursor = max(cursor, hole_end + 1)
+                if cursor > end:
+                    break
+                k += 1
+            if cursor <= end:
+                result.append((cursor, end))
+        return IPSet(result)
+
+    def overlaps(self, other: "IPSet") -> bool:
+        """Whether the two sets share any address."""
+        return bool(self.intersection(other))
+
+    # -- prefix decomposition --------------------------------------------------------
+
+    def to_prefixes(self) -> list[Prefix]:
+        """Minimal CIDR decomposition of the set."""
+        prefixes: list[Prefix] = []
+        for start, end in self.intervals():
+            cursor = start
+            while cursor <= end:
+                # Largest aligned block starting at cursor that fits.
+                max_align = cursor & -cursor if cursor else 1 << 32
+                span = end - cursor + 1
+                size = min(max_align, 1 << (span.bit_length() - 1))
+                length = 32 - (size.bit_length() - 1)
+                prefixes.append(Prefix(cursor, length))
+                cursor += size
+        return prefixes
+
+    # -- sampling -----------------------------------------------------------------
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Uniformly sample addresses from the set."""
+        if not self:
+            raise ValueError("cannot sample from an empty set")
+        sizes = np.asarray(
+            [end - start + 1 for start, end in self.intervals()], dtype=np.float64
+        )
+        cumulative = np.cumsum(sizes)
+        picks = np.searchsorted(cumulative, rng.random(count) * cumulative[-1],
+                                side="right")
+        starts = np.asarray(self._starts, dtype=np.int64)
+        offsets = (rng.random(count) * sizes[picks]).astype(np.int64)
+        return starts[picks] + offsets

@@ -1,0 +1,117 @@
+"""RIR allocation registry.
+
+The carpet-bombing aggregation of the paper (Appendix I) deliberately does
+*not* merge attacks spanning multiple RIR allocation blocks, even when the
+blocks belong to the same AS.  This module models those blocks: each
+:class:`AllocationBlock` is one delegation from a Regional Internet Registry
+to an operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.net.addr import Prefix
+from repro.net.trie import PrefixTable
+
+#: The five Regional Internet Registries.
+RIR_NAMES = ("ARIN", "RIPE", "APNIC", "LACNIC", "AFRINIC")
+
+#: Coarse geographic region served by each RIR (how industry reports
+#: break down "geolocation of attack targets").
+RIR_REGION = {
+    "ARIN": "North America",
+    "RIPE": "Europe",
+    "APNIC": "Asia-Pacific",
+    "LACNIC": "Latin America",
+    "AFRINIC": "Africa",
+}
+
+
+@dataclass(frozen=True)
+class AllocationBlock:
+    """One RIR delegation: a prefix handed to an operator (by ASN)."""
+
+    prefix: Prefix
+    rir: str
+    asn: int
+
+    def __post_init__(self) -> None:
+        if self.rir not in RIR_NAMES:
+            raise ValueError(f"unknown RIR: {self.rir!r}")
+
+
+class RirRegistry:
+    """Lookup table of RIR allocation blocks."""
+
+    def __init__(self) -> None:
+        self._table: PrefixTable[AllocationBlock] = PrefixTable()
+        self._ordered: list[AllocationBlock] | None = None
+        self._starts: list[int] | None = None
+
+    def allocate(self, prefix: Prefix, rir: str, asn: int) -> AllocationBlock:
+        """Record a delegation; rejects overlap with an existing block."""
+        existing = self._table.lookup(prefix.network)
+        if existing is not None and existing[0].overlaps(prefix):
+            raise ValueError(f"{prefix} overlaps existing block {existing[0]}")
+        block = AllocationBlock(prefix=prefix, rir=rir, asn=asn)
+        self._table.insert(prefix, block)
+        return block
+
+    def block_of(self, address: int) -> AllocationBlock | None:
+        """The allocation block containing ``address``, if any."""
+        hit = self._table.lookup(address)
+        return hit[1] if hit is not None else None
+
+    def region_of(self, address: int) -> str | None:
+        """Geographic region of the allocation holding ``address``."""
+        block = self.block_of(address)
+        return RIR_REGION[block.rir] if block is not None else None
+
+    def same_block(self, a: int, b: int) -> bool:
+        """Whether two addresses fall inside the same allocation block."""
+        block_a = self.block_of(a)
+        return block_a is not None and block_a is self.block_of(b)
+
+    def blocks(self) -> Iterator[AllocationBlock]:
+        """All allocation blocks."""
+        for _, block in self._table.items():
+            yield block
+
+    def blocks_in(self, prefix: Prefix) -> list[AllocationBlock]:
+        """Allocation blocks overlapping ``prefix``, address-ascending.
+
+        Used by the carpet-bombing analysis: a prefix attack spanning *n*
+        allocation blocks is recorded as *n* attacks (paper Appendix I).
+        """
+        ordered = self._ordered_blocks()
+        import bisect
+
+        starts = self._block_starts()
+        index = bisect.bisect_right(starts, prefix.first) - 1
+        if index < 0:
+            index = 0
+        found: list[AllocationBlock] = []
+        while index < len(ordered):
+            block = ordered[index]
+            if block.prefix.first > prefix.last:
+                break
+            if block.prefix.overlaps(prefix):
+                found.append(block)
+            index += 1
+        return found
+
+    def _ordered_blocks(self) -> list[AllocationBlock]:
+        if self._ordered is None or len(self._ordered) != len(self._table):
+            self._ordered = sorted(self.blocks(), key=lambda b: b.prefix.first)
+            self._starts = [block.prefix.first for block in self._ordered]
+        return self._ordered
+
+    def _block_starts(self) -> list[int]:
+        self._ordered_blocks()
+        assert self._starts is not None
+        return self._starts
+
+    def __len__(self) -> int:
+        return len(self._table)

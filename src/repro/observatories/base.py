@@ -1,0 +1,261 @@
+"""Observatory base classes and observation accumulators.
+
+An :class:`Observatory` turns ground-truth day batches into
+:class:`Observations`: flat arrays of detected attack records (day, target,
+attack class, vector, spoofed flag, measured bps).  The analysis toolkit in
+:mod:`repro.core` consumes only these records — exactly the granularity the
+paper's data providers shared (daily attack counts and, for the federation
+analysis, (date, target-IP) tuples).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.events import AttackClass, DayBatch
+from repro.util.calendar import StudyCalendar
+
+
+@dataclass(frozen=True)
+class SeriesKey:
+    """Identifies one reported time series: an observatory and attack class.
+
+    Netscout, Akamai, and the IXP each report direct-path and reflection-
+    amplification attacks as separate series (e.g. ``Netscout (DP)``).
+    """
+
+    observatory: str
+    attack_class: AttackClass
+
+    @property
+    def label(self) -> str:
+        """Display label, e.g. ``"Akamai (RA)"``."""
+        return f"{self.observatory} ({self.attack_class.label})"
+
+
+class Observations:
+    """Accumulated attack records of one observatory.
+
+    Records are appended per day batch and finalised into flat numpy arrays.
+    """
+
+    def __init__(self, observatory: str) -> None:
+        self.observatory = observatory
+        self._days: list[np.ndarray] = []
+        self._targets: list[np.ndarray] = []
+        self._classes: list[np.ndarray] = []
+        self._vectors: list[np.ndarray] = []
+        self._spoofed: list[np.ndarray] = []
+        self._bps: list[np.ndarray] = []
+        self._durations: list[np.ndarray] = []
+        self._final: dict[str, np.ndarray] | None = None
+
+    def append(
+        self,
+        day: int,
+        target: np.ndarray,
+        attack_class: np.ndarray,
+        vector_id: np.ndarray,
+        spoofed: np.ndarray,
+        bps: np.ndarray,
+        duration: np.ndarray | None = None,
+    ) -> None:
+        """Record detections of one day (parallel arrays).
+
+        ``duration`` (seconds) is optional for backwards compatibility
+        with feeds that do not report it; missing values become NaN.
+        """
+        if self._final is not None:
+            raise RuntimeError("observations already finalised")
+        n = len(target)
+        if not (
+            len(attack_class) == len(vector_id) == len(spoofed) == len(bps) == n
+        ):
+            raise ValueError("parallel arrays must have equal length")
+        if duration is not None and len(duration) != n:
+            raise ValueError("parallel arrays must have equal length")
+        if n == 0:
+            return
+        self._days.append(np.full(n, day, dtype=np.int32))
+        self._targets.append(np.asarray(target, dtype=np.int64))
+        self._classes.append(np.asarray(attack_class, dtype=np.int8))
+        self._vectors.append(np.asarray(vector_id, dtype=np.int16))
+        self._spoofed.append(np.asarray(spoofed, dtype=bool))
+        self._bps.append(np.asarray(bps, dtype=np.float64))
+        self._durations.append(
+            np.asarray(duration, dtype=np.float64)
+            if duration is not None
+            else np.full(n, np.nan)
+        )
+
+    def _materialise(self) -> dict[str, np.ndarray]:
+        if self._final is None:
+            self._final = {
+                "day": _concat(self._days, np.int32),
+                "target": _concat(self._targets, np.int64),
+                "attack_class": _concat(self._classes, np.int8),
+                "vector_id": _concat(self._vectors, np.int16),
+                "spoofed": _concat(self._spoofed, bool),
+                "bps": _concat(self._bps, np.float64),
+                "duration": _concat(self._durations, np.float64),
+            }
+            self._days = self._targets = self._classes = []  # type: ignore[assignment]
+            self._vectors = self._spoofed = self._bps = []  # type: ignore[assignment]
+            self._durations = []
+        return self._final
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def day(self) -> np.ndarray:
+        """Study-day index per record."""
+        return self._materialise()["day"]
+
+    @property
+    def target(self) -> np.ndarray:
+        """Target address per record."""
+        return self._materialise()["target"]
+
+    @property
+    def attack_class(self) -> np.ndarray:
+        """Attack class (int8) per record."""
+        return self._materialise()["attack_class"]
+
+    @property
+    def vector_id(self) -> np.ndarray:
+        """Primary vector id per record."""
+        return self._materialise()["vector_id"]
+
+    @property
+    def spoofed(self) -> np.ndarray:
+        """Spoofed-source flag per record."""
+        return self._materialise()["spoofed"]
+
+    @property
+    def bps(self) -> np.ndarray:
+        """Measured attack bandwidth per record."""
+        return self._materialise()["bps"]
+
+    @property
+    def duration(self) -> np.ndarray:
+        """Attack duration in seconds per record (NaN when unreported)."""
+        return self._materialise()["duration"]
+
+    def __len__(self) -> int:
+        return len(self.day)
+
+    # -- derived views -----------------------------------------------------------
+
+    def class_mask(self, attack_class: AttackClass | None) -> np.ndarray:
+        """Boolean mask selecting one attack class (or everything)."""
+        if attack_class is None:
+            return np.ones(len(self), dtype=bool)
+        return self.attack_class == int(attack_class)
+
+    def weekly_counts(
+        self,
+        calendar: StudyCalendar,
+        attack_class: AttackClass | None = None,
+        spoofed: bool | None = None,
+    ) -> np.ndarray:
+        """New-attack counts summed per study week (paper Section 5)."""
+        mask = self.class_mask(attack_class)
+        if spoofed is not None:
+            mask &= self.spoofed == spoofed
+        weeks = self.day[mask] // 7
+        weeks = weeks[weeks < calendar.n_weeks]
+        return np.bincount(weeks, minlength=calendar.n_weeks).astype(np.float64)
+
+    def target_tuples(
+        self, attack_class: AttackClass | None = None
+    ) -> set[tuple[int, int]]:
+        """Distinct (day, target-IP) tuples — the paper's target identity."""
+        mask = self.class_mask(attack_class)
+        return set(zip(self.day[mask].tolist(), self.target[mask].tolist()))
+
+    def distinct_targets(self) -> set[int]:
+        """Distinct target IPs."""
+        return set(self.target.tolist())
+
+
+def _concat(parts: list[np.ndarray], dtype) -> np.ndarray:
+    if not parts:
+        return np.empty(0, dtype=dtype)
+    return np.concatenate(parts)
+
+
+class VisibilityNoise:
+    """Weekly coverage noise of a vantage point.
+
+    Real platforms' visibility fluctuates week to week — sensors flap,
+    customers churn, alert feedback varies.  The paper leans on this to
+    explain why raw weekly series correlate weakly even between platforms
+    of the same type.  Modelled as an independent weekly thinning factor in
+    ``(0, 1]``: ``min(1, Lognormal(ln(mean), sigma))``.
+
+    Factors are drawn lazily but strictly in week order, so runs remain
+    deterministic for a given stream.
+    """
+
+    def __init__(
+        self, rng: np.random.Generator, mean: float = 0.8, sigma: float = 0.35
+    ) -> None:
+        if not 0 < mean <= 1:
+            raise ValueError("mean must be in (0, 1]")
+        self._rng = rng
+        self._mean = mean
+        self._sigma = sigma
+        self._factors: list[float] = []
+
+    def factor(self, week: int) -> float:
+        """Thinning factor for a week (draws forward as needed)."""
+        while len(self._factors) <= week:
+            draw = self._rng.lognormal(mean=np.log(self._mean), sigma=self._sigma)
+            self._factors.append(min(1.0, float(draw)))
+        return self._factors[week]
+
+
+class Observatory(abc.ABC):
+    """A vantage point converting ground truth into observed attack records.
+
+    ``key`` matches the campaign-bias key in
+    :data:`repro.attacks.events.OBSERVATORY_KEYS`; ``name`` is the display
+    name; ``reported_classes`` lists the attack classes the platform
+    reports as separate series.
+
+    ``outages`` holds ``(first_day, last_day_exclusive)`` windows in which
+    the platform recorded nothing.  The paper's data has two: ORION in
+    2019Q3-Q4 and the IXP in January 2019 (Section 6.1).  Downstream, an
+    outage is indistinguishable from the absence of attacks — exactly the
+    caveat the paper raises.
+    """
+
+    key: str
+    name: str
+    reported_classes: tuple[AttackClass, ...]
+    outages: tuple[tuple[int, int], ...] = ()
+
+    def in_outage(self, day: int) -> bool:
+        """Whether the platform was dark on a study day."""
+        return any(start <= day < end for start, end in self.outages)
+
+    @abc.abstractmethod
+    def observe(self, batch: DayBatch, into: Observations) -> None:
+        """Process one ground-truth day batch, appending detections."""
+
+    def run(self, batches) -> Observations:
+        """Convenience: run over an iterable of day batches."""
+        observations = Observations(self.name)
+        for batch in batches:
+            self.observe(batch, observations)
+        return observations
+
+    def series_keys(self) -> list[SeriesKey]:
+        """The time series this observatory contributes."""
+        return [SeriesKey(self.name, cls) for cls in self.reported_classes]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

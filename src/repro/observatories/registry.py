@@ -1,0 +1,194 @@
+"""The configured observatory set of the paper (Table 2).
+
+:func:`build_observatories` assembles the ten vantage points against a
+synthetic Internet plan:
+
+========================  ======  ===========  ==========================
+Platform                  Type    Attack       Coverage
+========================  ======  ===========  ==========================
+UCSD NT                   NT      RSDoS (DP)   ~12M IPs (/9 + /10)
+ORION NT                  NT      RSDoS (DP)   ~500k IPs (/13)
+Netscout Atlas (DP, RA)   flow    DP + RA      customer ASNs, worldwide
+Akamai Prolexic (DP, RA)  flow    DP + RA      Prolexic-routed prefixes
+IXP BH (DP, RA)           flow    DP + RA      member ASNs, blackholing
+Hopscotch                 HP      RA           65 sensor IPs
+AmpPot                    HP      RA           ~30 responding of 70 IPs
+NewKid                    HP      RA           1 sensor IP
+========================  ======  ===========  ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.events import AttackClass
+from repro.net.plan import (
+    ORION_TELESCOPE_PREFIX,
+    UCSD_TELESCOPE_PREFIXES,
+    InternetPlan,
+)
+from repro.observatories.base import Observations, Observatory, SeriesKey, VisibilityNoise
+from repro.observatories.flowmon import AkamaiProlexic, IxpBlackholing, NetscoutAtlas
+from repro.observatories.honeypot import (
+    AMPPOT_SPEC,
+    HOPSCOTCH_SPEC,
+    NEWKID_SPEC,
+    HoneypotPlatform,
+)
+from repro.observatories.telescope import NetworkTelescope, TelescopeConfig
+from repro.util.calendar import StudyCalendar
+from repro.util.rng import RngFactory
+
+#: Platform dark windows the paper notes in Section 6.1 ("Missing data:
+#: ORION in 2019Q3-Q4, IXP in Jan 2019"), as date ranges.
+import datetime as _dt
+
+PAPER_OUTAGES: dict[str, tuple[tuple[_dt.date, _dt.date], ...]] = {
+    "ORION": ((_dt.date(2019, 7, 1), _dt.date(2020, 1, 1)),),
+    "IXP": ((_dt.date(2019, 1, 1), _dt.date(2019, 2, 1)),),
+}
+
+
+def _outage_days(
+    calendar: StudyCalendar | None, name: str
+) -> tuple[tuple[int, int], ...]:
+    """Paper outage windows converted to day-index ranges (clamped)."""
+    if calendar is None:
+        return ()
+    windows = []
+    for start, end in PAPER_OUTAGES.get(name, ()):
+        if end <= calendar.start or start > calendar.end:
+            continue
+        first = max(start, calendar.start)
+        last = min(end, calendar.end + _dt.timedelta(days=1))
+        windows.append(
+            (calendar.day_index(first), (last - calendar.start).days)
+        )
+    return tuple(windows)
+
+#: Display order of the ten main time series (paper Figure 4, top to bottom
+#: within each attack-class group), plus NewKid (appendix-only).
+MAIN_SERIES_ORDER = (
+    SeriesKey("ORION", AttackClass.DIRECT_PATH),
+    SeriesKey("UCSD", AttackClass.DIRECT_PATH),
+    SeriesKey("Netscout", AttackClass.DIRECT_PATH),
+    SeriesKey("Akamai", AttackClass.DIRECT_PATH),
+    SeriesKey("IXP", AttackClass.DIRECT_PATH),
+    SeriesKey("Hopscotch", AttackClass.REFLECTION_AMPLIFICATION),
+    SeriesKey("AmpPot", AttackClass.REFLECTION_AMPLIFICATION),
+    SeriesKey("Netscout", AttackClass.REFLECTION_AMPLIFICATION),
+    SeriesKey("Akamai", AttackClass.REFLECTION_AMPLIFICATION),
+    SeriesKey("IXP", AttackClass.REFLECTION_AMPLIFICATION),
+)
+
+#: The four academic observatories of the target analysis (Section 7).
+ACADEMIC_OBSERVATORIES = ("ORION", "UCSD", "Hopscotch", "AmpPot")
+
+
+@dataclass
+class ObservatorySet:
+    """All observatory instances, with convenience accessors."""
+
+    telescopes: list[NetworkTelescope]
+    honeypots: list[HoneypotPlatform]
+    flow_monitors: list[Observatory]
+
+    def all(self) -> list[Observatory]:
+        """Every observatory, telescopes first."""
+        return [*self.telescopes, *self.honeypots, *self.flow_monitors]
+
+    def by_name(self, name: str) -> Observatory:
+        """Look up an observatory by display name."""
+        for observatory in self.all():
+            if observatory.name == name:
+                return observatory
+        raise KeyError(name)
+
+    def run_all(self, batches) -> dict[str, Observations]:
+        """Feed every observatory from one pass over the day batches."""
+        sinks = {obs.name: Observations(obs.name) for obs in self.all()}
+        everyone = self.all()
+        for batch in batches:
+            for observatory in everyone:
+                observatory.observe(batch, sinks[observatory.name])
+        return sinks
+
+
+def build_observatories(
+    plan: InternetPlan,
+    rng_factory: RngFactory,
+    *,
+    telescope_config: TelescopeConfig | None = None,
+    aggregate_carpet: bool = True,
+    visibility_noise_sigma: float = 0.55,
+    calendar: StudyCalendar | None = None,
+    paper_outages: bool = True,
+) -> ObservatorySet:
+    """Instantiate the paper's observatory set against an Internet plan.
+
+    ``visibility_noise_sigma`` controls each platform's independent weekly
+    coverage fluctuation (0 disables it).  When a ``calendar`` is given and
+    ``paper_outages`` is true, ORION and the IXP get the dark windows the
+    paper notes (2019Q3-Q4 and January 2019 respectively).
+    """
+    telescope_config = telescope_config or TelescopeConfig()
+
+    def noise(key: str, mean: float = 0.8, sigma: float | None = None) -> VisibilityNoise | None:
+        if visibility_noise_sigma <= 0:
+            return None
+        return VisibilityNoise(
+            rng_factory.stream(f"noise/{key}"),
+            mean=mean,
+            sigma=sigma if sigma is not None else visibility_noise_sigma,
+        )
+
+    # Telescopes are passive taps on fixed address space: steadier
+    # coverage than customer-driven industry feeds.
+    telescopes = [
+        NetworkTelescope(
+            key="ucsd",
+            name="UCSD",
+            prefixes=UCSD_TELESCOPE_PREFIXES,
+            rng=rng_factory.stream("observatory/ucsd"),
+            config=telescope_config,
+            noise=noise("ucsd", mean=0.88, sigma=visibility_noise_sigma * 0.8),
+        ),
+        NetworkTelescope(
+            key="orion",
+            name="ORION",
+            prefixes=(ORION_TELESCOPE_PREFIX,),
+            rng=rng_factory.stream("observatory/orion"),
+            config=telescope_config,
+            noise=noise("orion", mean=0.88, sigma=visibility_noise_sigma * 0.8),
+        ),
+    ]
+    honeypots = [
+        HoneypotPlatform(
+            spec,
+            rng=rng_factory.stream(f"observatory/{spec.key}"),
+            rir=plan.rir,
+            aggregate_carpet=aggregate_carpet,
+            # Honeypot farms are static sensors: steadier coverage than
+            # customer-driven industry feeds.
+            noise=noise(spec.key, mean=0.92, sigma=visibility_noise_sigma * 0.7),
+        )
+        for spec in (HOPSCOTCH_SPEC, AMPPOT_SPEC, NEWKID_SPEC)
+    ]
+    flow_monitors: list[Observatory] = [
+        NetscoutAtlas(
+            plan, rng_factory.stream("observatory/netscout"), noise=noise("netscout")
+        ),
+        AkamaiProlexic(
+            plan, rng_factory.stream("observatory/akamai"), noise=noise("akamai")
+        ),
+        IxpBlackholing(
+            plan, rng_factory.stream("observatory/ixp"), noise=noise("ixp")
+        ),
+    ]
+    observatory_set = ObservatorySet(
+        telescopes=telescopes, honeypots=honeypots, flow_monitors=flow_monitors
+    )
+    if paper_outages:
+        for observatory in observatory_set.all():
+            observatory.outages = _outage_days(calendar, observatory.name)
+    return observatory_set

@@ -1,0 +1,158 @@
+"""Corsaro-style RSDoS detector (paper Appendix J), packet level.
+
+Re-implements CAIDA's Corsaro DoS plugin semantics as the paper documents
+them:
+
+1. **Flow identifier** — the tuple ``(protocol, source IP)``: all
+   backscatter from one victim over one protocol is one flow.  Ports are
+   aggregated as data, not key.
+2. **Threshold** — a flow is an attack once it has at least 25 packets
+   from the source IP, spans at least 60 seconds, *and* has (at some
+   point) at least 30 packets within a 60-second window sliding every
+   10 seconds.
+3. **Timeout** — packets are counted in 300-second intervals; after an
+   interval with no new packets the attack flow is finished.
+4. Once both thresholds have been met the flow counts as an attack for
+   the rest of its lifetime; any number of packets keeps it alive until
+   the timeout fires (the paper notes this evolution explicitly).
+
+Only backscatter-candidate packets (TCP SYN-ACK/RST, ICMP, UDP responses)
+enter the detector — unsolicited SYNs are scans, not backscatter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.traffic.packet import Packet
+from repro.traffic.rates import SlidingRate
+
+#: Defaults from the Corsaro config the paper cites.
+MIN_PACKETS = 25
+MIN_DURATION_S = 60.0
+WINDOW_PACKETS = 30
+WINDOW_S = 60.0
+SLIDE_S = 10.0
+TIMEOUT_S = 300.0
+
+
+@dataclass(frozen=True)
+class RSDoSAlert:
+    """One inferred randomly-spoofed DoS attack.
+
+    ``victim`` is the source IP of the backscatter (the attacked host).
+    """
+
+    victim: int
+    protocol: int
+    start: float
+    end: float
+    packets: int
+    peak_window_packets: int
+    ports: int
+
+    @property
+    def duration(self) -> float:
+        """Attack span in seconds."""
+        return self.end - self.start
+
+
+class _FlowState:
+    """Per-(protocol, victim) detector state."""
+
+    __slots__ = (
+        "first_seen",
+        "last_seen",
+        "packets",
+        "rate",
+        "is_attack",
+        "ports",
+    )
+
+    def __init__(self, timestamp: float) -> None:
+        self.first_seen = timestamp
+        self.last_seen = timestamp
+        self.packets = 0
+        self.rate = SlidingRate(window=WINDOW_S, slide=SLIDE_S)
+        self.is_attack = False
+        self.ports: set[int] = set()
+
+    def absorb(self, packet: Packet) -> None:
+        self.last_seen = packet.timestamp
+        self.packets += 1
+        self.rate.add(packet.timestamp)
+        self.ports.add(packet.src_port)
+        if not self.is_attack:
+            self.is_attack = (
+                self.packets >= MIN_PACKETS
+                and self.last_seen - self.first_seen >= MIN_DURATION_S
+                and self.rate.peak >= WINDOW_PACKETS
+            )
+
+    def to_alert(self, protocol: int, victim: int) -> RSDoSAlert:
+        return RSDoSAlert(
+            victim=victim,
+            protocol=protocol,
+            start=self.first_seen,
+            end=self.last_seen,
+            packets=self.packets,
+            peak_window_packets=self.rate.peak,
+            ports=len(self.ports),
+        )
+
+
+class RsdosDetector:
+    """Streaming RSDoS inference over telescope packets.
+
+    Feed packets in timestamp order via :meth:`observe`; completed attacks
+    are returned from :meth:`observe` (when flows time out) and
+    :meth:`flush` (at end of trace).
+    """
+
+    def __init__(self) -> None:
+        self._flows: dict[tuple[int, int], _FlowState] = {}
+        self._clock = float("-inf")
+
+    def observe(self, packet: Packet) -> list[RSDoSAlert]:
+        """Process one packet; returns alerts for flows that just expired."""
+        if packet.timestamp < self._clock:
+            raise ValueError("packets must arrive in timestamp order")
+        self._clock = packet.timestamp
+        alerts = self._sweep(packet.timestamp)
+        if packet.is_backscatter_candidate:
+            key = (packet.protocol, packet.src_ip)
+            state = self._flows.get(key)
+            if state is None:
+                state = self._flows[key] = _FlowState(packet.timestamp)
+            state.absorb(packet)
+        return alerts
+
+    def _sweep(self, now: float) -> list[RSDoSAlert]:
+        """Expire idle flows, emitting alerts for those that were attacks."""
+        alerts: list[RSDoSAlert] = []
+        expired = [
+            key
+            for key, state in self._flows.items()
+            if now - state.last_seen > TIMEOUT_S
+        ]
+        for key in expired:
+            state = self._flows.pop(key)
+            if state.is_attack:
+                protocol, victim = key
+                alerts.append(state.to_alert(protocol, victim))
+        return alerts
+
+    def flush(self) -> list[RSDoSAlert]:
+        """End of trace: expire every remaining flow."""
+        alerts = [
+            state.to_alert(protocol, victim)
+            for (protocol, victim), state in self._flows.items()
+            if state.is_attack
+        ]
+        self._flows.clear()
+        return alerts
+
+    @property
+    def active_flows(self) -> int:
+        """Number of live flows (attack or not)."""
+        return len(self._flows)

@@ -1,0 +1,172 @@
+"""Remote-triggered blackhole (RTBH) signalling at an IXP (paper §2.3).
+
+The IXP data set of the paper is derived from blackholing: members
+announce a (usually /32) prefix to the route server with the blackhole
+community when one of their addresses is under attack; the method of
+Kopp et al. [82] joins those announcements with traffic statistics to
+infer attacks.
+
+This module models the signalling half: a route server accepting
+announcements and withdrawals, plus the inference step that turns raw
+announcement churn into attack records (merging re-announcements,
+deduplicating multi-member announcements for the same victim, dropping
+sub-minute flaps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.addr import Prefix
+
+#: RTBH services conventionally accept only host routes and very small
+#: blocks (collateral damage grows with the prefix).
+MIN_BLACKHOLE_LENGTH = 25
+
+
+@dataclass(frozen=True)
+class BlackholeAnnouncement:
+    """One member's blackhole window for a prefix."""
+
+    prefix: Prefix
+    member_asn: int
+    start: float
+    end: float  # withdrawal time
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("withdrawal before announcement")
+
+
+@dataclass(frozen=True)
+class RtbhAttack:
+    """One inferred attack: merged blackhole activity for a victim prefix."""
+
+    prefix: Prefix
+    start: float
+    end: float
+    member_asns: tuple[int, ...]
+    announcements: int
+
+    @property
+    def duration(self) -> float:
+        """Blackhole span in seconds."""
+        return self.end - self.start
+
+
+class RouteServer:
+    """Accepts blackhole announcements/withdrawals with validation."""
+
+    def __init__(self, member_asns: frozenset[int]) -> None:
+        self.member_asns = member_asns
+        self._active: dict[tuple[int, Prefix], float] = {}
+        self._history: list[BlackholeAnnouncement] = []
+        self._clock = float("-inf")
+
+    def announce(self, member_asn: int, prefix: Prefix, timestamp: float) -> None:
+        """A member triggers blackholing for a prefix."""
+        self._advance(timestamp)
+        if member_asn not in self.member_asns:
+            raise PermissionError(f"AS{member_asn} is not an IXP member")
+        if prefix.length < MIN_BLACKHOLE_LENGTH:
+            raise ValueError(
+                f"{prefix} too wide for RTBH (min /{MIN_BLACKHOLE_LENGTH})"
+            )
+        key = (member_asn, prefix)
+        # Re-announcing an active blackhole is a no-op (BGP refresh).
+        self._active.setdefault(key, timestamp)
+
+    def withdraw(self, member_asn: int, prefix: Prefix, timestamp: float) -> None:
+        """A member withdraws a blackhole."""
+        self._advance(timestamp)
+        key = (member_asn, prefix)
+        start = self._active.pop(key, None)
+        if start is None:
+            raise KeyError(f"no active blackhole for AS{member_asn} {prefix}")
+        self._history.append(
+            BlackholeAnnouncement(
+                prefix=prefix, member_asn=member_asn, start=start, end=timestamp
+            )
+        )
+
+    def _advance(self, timestamp: float) -> None:
+        if timestamp < self._clock:
+            raise ValueError("events must arrive in timestamp order")
+        self._clock = timestamp
+
+    def close(self, timestamp: float | None = None) -> list[BlackholeAnnouncement]:
+        """Withdraw everything still active and return the full history."""
+        final = timestamp if timestamp is not None else self._clock
+        for (member_asn, prefix), start in sorted(self._active.items(),
+                                                  key=lambda kv: kv[1]):
+            self._history.append(
+                BlackholeAnnouncement(
+                    prefix=prefix,
+                    member_asn=member_asn,
+                    start=start,
+                    end=max(start, final),
+                )
+            )
+        self._active.clear()
+        history = sorted(self._history, key=lambda a: (a.start, a.prefix.network))
+        return history
+
+    @property
+    def active_count(self) -> int:
+        """Currently blackholed (member, prefix) pairs."""
+        return len(self._active)
+
+
+def infer_attacks(
+    announcements: list[BlackholeAnnouncement],
+    *,
+    min_duration_s: float = 60.0,
+    merge_gap_s: float = 300.0,
+) -> list[RtbhAttack]:
+    """Turn announcement history into attack records (method of [82]).
+
+    Announcements for the same prefix are merged when their windows
+    overlap or sit within ``merge_gap_s`` (route flaps and multi-member
+    blackholes are one attack); merged windows shorter than
+    ``min_duration_s`` are discarded as configuration churn.
+    """
+    by_prefix: dict[Prefix, list[BlackholeAnnouncement]] = {}
+    for announcement in announcements:
+        by_prefix.setdefault(announcement.prefix, []).append(announcement)
+
+    attacks: list[RtbhAttack] = []
+    for prefix, group in by_prefix.items():
+        group.sort(key=lambda a: a.start)
+        cluster = [group[0]]
+        horizon = group[0].end
+        for announcement in group[1:]:
+            if announcement.start <= horizon + merge_gap_s:
+                cluster.append(announcement)
+                horizon = max(horizon, announcement.end)
+            else:
+                attacks.extend(
+                    _emit(prefix, cluster, min_duration_s)
+                )
+                cluster = [announcement]
+                horizon = announcement.end
+        attacks.extend(_emit(prefix, cluster, min_duration_s))
+    attacks.sort(key=lambda attack: (attack.start, attack.prefix.network))
+    return attacks
+
+
+def _emit(
+    prefix: Prefix, cluster: list[BlackholeAnnouncement], min_duration_s: float
+) -> list[RtbhAttack]:
+    start = min(a.start for a in cluster)
+    end = max(a.end for a in cluster)
+    if end - start < min_duration_s:
+        return []
+    return [
+        RtbhAttack(
+            prefix=prefix,
+            start=start,
+            end=end,
+            member_asns=tuple(sorted({a.member_asn for a in cluster})),
+            announcements=len(cluster),
+        )
+    ]

@@ -1,0 +1,21 @@
+"""Traffic substrate: packet records, flow tables, rate estimation.
+
+These primitives back the micro-level (packet-stream) detectors: the
+Corsaro-style RSDoS detector of the telescopes (paper Appendix J) and the
+per-platform honeypot flow logic (paper Table 2).
+"""
+
+from repro.traffic.packet import ICMP, TCP, UDP, Packet, protocol_name
+from repro.traffic.flows import Flow, FlowTable
+from repro.traffic.rates import SlidingRate
+
+__all__ = [
+    "Packet",
+    "TCP",
+    "UDP",
+    "ICMP",
+    "protocol_name",
+    "Flow",
+    "FlowTable",
+    "SlidingRate",
+]

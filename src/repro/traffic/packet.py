@@ -1,0 +1,85 @@
+"""Packet records.
+
+A :class:`Packet` is the unit consumed by the packet-stream detectors.  It
+carries exactly the header fields the paper's detection algorithms key on:
+timestamps, protocol, addresses, ports, size, and TCP flags (backscatter
+classification needs SYN-ACK / RST detection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# IANA protocol numbers used throughout the package.
+ICMP = 1
+TCP = 6
+UDP = 17
+
+_PROTOCOL_NAMES = {ICMP: "ICMP", TCP: "TCP", UDP: "UDP"}
+
+#: High UDP service ports whose responses count as backscatter (common
+#: attacked services above the well-known range).
+_UDP_SERVICE_PORTS = frozenset({1194, 1900, 3283, 3702, 4500, 5353, 5683, 11211})
+
+# TCP flag bits.
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_ACK = 0x10
+
+
+def protocol_name(protocol: int) -> str:
+    """Human-readable protocol name (falls back to the number)."""
+    return _PROTOCOL_NAMES.get(protocol, str(protocol))
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """One packet: study-epoch timestamp plus the header fields we key on."""
+
+    timestamp: float
+    src_ip: int
+    dst_ip: int
+    protocol: int
+    src_port: int = 0
+    dst_port: int = 0
+    size: int = 64
+    tcp_flags: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"non-positive packet size: {self.size}")
+        if not 0 <= self.src_port <= 0xFFFF or not 0 <= self.dst_port <= 0xFFFF:
+            raise ValueError("port out of range")
+
+    # -- backscatter classification ------------------------------------------
+
+    @property
+    def is_syn_ack(self) -> bool:
+        """SYN-ACK: the signature backscatter reply to a spoofed SYN flood."""
+        return (
+            self.protocol == TCP
+            and self.tcp_flags & (FLAG_SYN | FLAG_ACK) == (FLAG_SYN | FLAG_ACK)
+        )
+
+    @property
+    def is_rst(self) -> bool:
+        """RST: backscatter from spoofed packets hitting closed ports."""
+        return self.protocol == TCP and bool(self.tcp_flags & FLAG_RST)
+
+    @property
+    def is_backscatter_candidate(self) -> bool:
+        """Whether the packet looks like a victim's reply to spoofed traffic.
+
+        Telescopes infer RSDoS attacks from response packets: TCP SYN-ACK or
+        RST, ICMP (e.g. port/host unreachable, echo reply), and UDP
+        *replies*.  Unsolicited TCP SYNs are scans, and UDP packets sourced
+        from ephemeral ports are probes/queries rather than service
+        responses — neither is backscatter.
+        """
+        if self.protocol == TCP:
+            return self.is_syn_ack or self.is_rst
+        if self.protocol == UDP:
+            # A victim's reply leaves from the attacked service port.
+            return self.src_port < 1024 or self.src_port in _UDP_SERVICE_PORTS
+        return self.protocol == ICMP

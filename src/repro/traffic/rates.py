@@ -1,0 +1,74 @@
+"""Sliding-window packet-rate estimation.
+
+The Corsaro RSDoS detector requires an attack flow to reach "at least 30
+packets across a 60-second window, which slides every 10 seconds"
+(paper Appendix J).  :class:`SlidingRate` implements that windowing: packet
+counts are bucketed at the slide granularity and the window maximum is
+tracked incrementally.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class SlidingRate:
+    """Counts packets in a sliding window over bucketed time.
+
+    Parameters
+    ----------
+    window:
+        Window length in seconds (e.g. 60).
+    slide:
+        Slide granularity in seconds (e.g. 10); must divide ``window``.
+    """
+
+    def __init__(self, window: float, slide: float) -> None:
+        if window <= 0 or slide <= 0:
+            raise ValueError("window and slide must be positive")
+        buckets, remainder = divmod(window, slide)
+        if remainder:
+            raise ValueError(f"slide {slide} must divide window {window}")
+        self._slide = float(slide)
+        self._n_buckets = int(buckets)
+        self._buckets: deque[tuple[int, int]] = deque()  # (bucket index, count)
+        self._window_count = 0
+        self._peak = 0
+
+    def add(self, timestamp: float, count: int = 1) -> None:
+        """Account ``count`` packets at ``timestamp`` (non-decreasing)."""
+        bucket = int(timestamp // self._slide)
+        if self._buckets and bucket < self._buckets[-1][0]:
+            raise ValueError("timestamps must be non-decreasing")
+        self._evict(bucket)
+        if self._buckets and self._buckets[-1][0] == bucket:
+            index, existing = self._buckets[-1]
+            self._buckets[-1] = (index, existing + count)
+        else:
+            self._buckets.append((bucket, count))
+        self._window_count += count
+        if self._window_count > self._peak:
+            self._peak = self._window_count
+
+    def _evict(self, current_bucket: int) -> None:
+        """Drop buckets that fell out of the window ending at ``current_bucket``."""
+        floor = current_bucket - self._n_buckets + 1
+        while self._buckets and self._buckets[0][0] < floor:
+            _, count = self._buckets.popleft()
+            self._window_count -= count
+
+    @property
+    def current(self) -> int:
+        """Packets in the window ending at the latest-seen bucket."""
+        return self._window_count
+
+    @property
+    def peak(self) -> int:
+        """Highest window count observed so far."""
+        return self._peak
+
+    def reset(self) -> None:
+        """Forget all state."""
+        self._buckets.clear()
+        self._window_count = 0
+        self._peak = 0

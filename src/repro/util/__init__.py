@@ -1,0 +1,6 @@
+"""Shared utilities: study calendar and deterministic random streams."""
+
+from repro.util.calendar import STUDY_CALENDAR, StudyCalendar, Week
+from repro.util.rng import RngFactory
+
+__all__ = ["STUDY_CALENDAR", "StudyCalendar", "Week", "RngFactory"]

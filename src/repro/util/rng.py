@@ -1,0 +1,60 @@
+"""Deterministic random-stream factory.
+
+Every stochastic component of the simulation (the landscape generator, each
+observatory's sampling noise, trace synthesis, ...) draws from its own named
+substream, derived from a single study seed.  Adding a new component never
+perturbs the streams of existing ones, so experiment outputs stay stable as
+the package grows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def _label_entropy(label: str) -> list[int]:
+    """Stable 128-bit entropy words for a component label."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return [int.from_bytes(digest[i : i + 4], "big") for i in range(0, 16, 4)]
+
+
+class RngFactory:
+    """Creates independent, reproducible :class:`numpy.random.Generator` streams.
+
+    >>> factory = RngFactory(seed=7)
+    >>> a = factory.stream("landscape")
+    >>> b = factory.stream("telescope/ucsd")
+    >>> a is not b
+    True
+
+    Requesting the same label twice returns *fresh* generators with identical
+    state, so components can be re-run independently:
+
+    >>> x = factory.stream("landscape").integers(0, 1 << 30)
+    >>> y = factory.stream("landscape").integers(0, 1 << 30)
+    >>> int(x) == int(y)
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def stream(self, label: str) -> np.random.Generator:
+        """A generator keyed by ``(seed, label)``; stable across runs."""
+        sequence = np.random.SeedSequence(
+            entropy=self.seed, spawn_key=tuple(_label_entropy(label))
+        )
+        return np.random.Generator(np.random.PCG64(sequence))
+
+    def child(self, label: str) -> "RngFactory":
+        """A factory whose streams are namespaced under ``label``."""
+        derived = int.from_bytes(
+            hashlib.sha256(f"{self.seed}/{label}".encode("utf-8")).digest()[:8],
+            "big",
+        )
+        return RngFactory(seed=derived)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngFactory(seed={self.seed})"

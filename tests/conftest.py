@@ -1,0 +1,52 @@
+"""Shared fixtures: a fast small-scale study and common substrate objects."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.net.plan import PlanConfig, build_internet_plan
+from repro.util.calendar import StudyCalendar
+from repro.util.rng import RngFactory
+
+#: A ~69-week window (covers the 15-week baseline plus a year of trend).
+SMALL_CALENDAR = StudyCalendar(dt.date(2019, 1, 1), dt.date(2020, 4, 30))
+
+
+def small_study_config(seed: int = 0) -> StudyConfig:
+    """A fast study configuration for integration tests."""
+    return StudyConfig(
+        seed=seed,
+        calendar=SMALL_CALENDAR,
+        dp_per_day=40.0,
+        ra_per_day=30.0,
+        plan=PlanConfig(seed=seed, tail_as_count=120),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_study() -> Study:
+    """A small, fully-run study shared across integration tests."""
+    study = Study(small_study_config())
+    study.observations  # run the simulation once
+    return study
+
+
+@pytest.fixture(scope="session")
+def plan():
+    """A small synthetic Internet plan."""
+    return build_internet_plan(PlanConfig(seed=7, tail_as_count=60))
+
+
+@pytest.fixture()
+def rng_factory() -> RngFactory:
+    """A deterministic RNG factory."""
+    return RngFactory(seed=1234)
+
+
+@pytest.fixture()
+def rng(rng_factory):
+    """A generic random stream for tests."""
+    return rng_factory.stream("tests")

@@ -1,0 +1,125 @@
+"""Tests for the booter ecosystem and intervention-effect estimation."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.booters import BooterEcosystem, BooterService
+from repro.core.interventions import intervention_effect, takedown_effects
+from repro.util.rng import RngFactory
+
+
+class TestBooterService:
+    def test_lifecycle(self):
+        service = BooterService(service_id=3, capacity_share=0.1)
+        assert service.alive_on(0)
+        assert service.domain == "booter3-gen0.example"
+        service.seize(day=100, recovery_days=30)
+        assert not service.alive_on(100)
+        assert not service.alive_on(129)
+        assert service.alive_on(130)
+        assert service.domain == "booter3-gen1.example"
+
+    def test_invalid_share_rejected(self):
+        with pytest.raises(ValueError):
+            BooterService(service_id=0, capacity_share=0.0)
+
+
+class TestBooterEcosystem:
+    def make(self, **kw):
+        return BooterEcosystem(RngFactory(0).stream("eco"), **kw)
+
+    def test_full_capacity_without_seizures(self):
+        eco = self.make()
+        assert eco.capacity(0) == pytest.approx(1.0)
+        assert eco.takedown_days() == []
+
+    def test_seizure_dents_capacity_with_substitution(self):
+        eco = self.make(seizure_days=(100,))
+        assert eco.capacity(99) == pytest.approx(1.0)
+        dip = eco.capacity(100)
+        # Substitution keeps the dent modest (the paper's small valleys).
+        assert 0.6 < dip < 0.95
+        assert eco.capacity(600) == pytest.approx(1.0)
+
+    def test_largest_services_seized_first(self):
+        eco = self.make(seizure_days=(100,), seized_per_action=3)
+        assert eco.services_seized_on(100) == [0, 1, 2]
+
+    def test_seized_services_return(self):
+        eco = self.make(seizure_days=(100,))
+        seized = eco.services_seized_on(100)
+        assert all(not eco.is_alive(s, 100) for s in seized)
+        assert all(eco.is_alive(s, 2000) for s in seized)
+
+    def test_attribution_prefers_large_services(self):
+        eco = self.make()
+        rng = RngFactory(1).stream("attr")
+        samples = [eco.attribute(rng, 0) for _ in range(500)]
+        # Service 0 holds the largest Zipf share.
+        assert samples.count(0) > samples.count(20)
+
+    def test_attribution_skips_seized_services(self):
+        eco = self.make(seizure_days=(100,), seized_per_action=3)
+        rng = RngFactory(2).stream("attr2")
+        samples = {eco.attribute(rng, 100) for _ in range(200)}
+        assert samples.isdisjoint({0, 1, 2})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(service_count=0)
+        with pytest.raises(ValueError):
+            self.make(substitution=1.0)
+
+
+class TestInterventionEffect:
+    def flat_series(self, n=120, level=100.0, noise=5.0, seed=0):
+        rng = np.random.default_rng(seed)
+        return level + rng.normal(0, noise, n)
+
+    def test_step_change_detected(self):
+        series = self.flat_series()
+        series[60:] -= 50.0
+        effect = intervention_effect(series, 60)
+        assert effect.relative_change < -0.3
+        assert effect.significant
+        assert effect.verdict == "drop"
+
+    def test_no_change_is_indeterminate(self):
+        series = self.flat_series()
+        effect = intervention_effect(series, 60)
+        assert abs(effect.relative_change) < 0.2
+        assert not effect.significant
+        assert effect.verdict == "indeterminate"
+
+    def test_rise_detected(self):
+        series = self.flat_series()
+        series[60:] += 80.0
+        effect = intervention_effect(series, 60)
+        assert effect.verdict == "rise"
+
+    def test_window_bounds_validated(self):
+        series = self.flat_series(n=30)
+        with pytest.raises(ValueError):
+            intervention_effect(series, 2, window_weeks=6)
+        with pytest.raises(ValueError):
+            intervention_effect(series, 28, window_weeks=6)
+        with pytest.raises(ValueError):
+            intervention_effect(series, 15, window_weeks=0)
+
+    def test_zero_pre_mean(self):
+        series = np.zeros(60)
+        series[30:] = 0.0
+        effect = intervention_effect(series, 30)
+        assert effect.relative_change == 0.0
+
+    def test_takedown_effects_batch(self):
+        series = self.flat_series()
+        effects = takedown_effects(series, [40, 80])
+        assert len(effects) == 2
+        assert all(e.window_weeks == 6 for e in effects)
+
+    def test_deterministic_with_seeded_rng(self):
+        series = self.flat_series()
+        a = intervention_effect(series, 60, rng=np.random.default_rng(7))
+        b = intervention_effect(series, 60, rng=np.random.default_rng(7))
+        assert a.p_value == b.p_value

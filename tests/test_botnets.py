@@ -1,0 +1,101 @@
+"""Tests for botnet populations and capture-recapture estimation."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.botnets import Botnet, estimate_population
+from repro.net.asn import ASKind
+from repro.util.rng import RngFactory
+
+
+@pytest.fixture()
+def botnet(plan, rng):
+    return Botnet(botnet_id=1, plan=plan, rng=rng, size=2_000, daily_churn=0.05)
+
+
+class TestBotnet:
+    def test_members_live_in_isp_space(self, plan, botnet):
+        isp_asns = {info.asn for info in plan.ases if info.kind is ASKind.ISP}
+        sample = botnet.members[:200]
+        origins = {plan.origin_as(int(ip)) for ip in sample}
+        assert origins <= isp_asns
+
+    def test_sources_are_members(self, botnet):
+        sources = botnet.sources_for_attack(300)
+        members = set(botnet.members.tolist())
+        assert set(sources.tolist()) <= members
+        # Without replacement: no duplicates.
+        assert len(set(sources.tolist())) == len(sources)
+
+    def test_oversized_request_clamped(self, botnet):
+        sources = botnet.sources_for_attack(10_000)
+        assert len(sources) == botnet.size
+
+    def test_churn_rotates_membership(self, botnet):
+        before = set(botnet.members.tolist())
+        botnet.advance_to(60)  # 60 days at 5%/day: most bots replaced
+        after = set(botnet.members.tolist())
+        overlap = len(before & after) / len(before)
+        assert overlap < 0.3
+        # Random draws can collide inside small ISP pools, so the distinct
+        # count sits slightly below the nominal size.
+        assert len(botnet.members) == botnet.size
+        assert len(after) > 0.95 * botnet.size
+
+    def test_no_backwards_churn(self, botnet):
+        botnet.advance_to(10)
+        with pytest.raises(ValueError):
+            botnet.advance_to(5)
+
+    def test_validation(self, plan, rng):
+        with pytest.raises(ValueError):
+            Botnet(1, plan, rng, size=0)
+        with pytest.raises(ValueError):
+            Botnet(1, plan, rng, daily_churn=1.0)
+
+    def test_deterministic(self, plan):
+        a = Botnet(1, plan, RngFactory(5).stream("bot"), size=500)
+        b = Botnet(1, plan, RngFactory(5).stream("bot"), size=500)
+        assert np.array_equal(a.members, b.members)
+
+
+class TestCaptureRecapture:
+    def test_recovers_stable_population(self, plan):
+        botnet = Botnet(1, plan, RngFactory(2).stream("cr"), size=3_000,
+                        daily_churn=0.0)
+        first = botnet.sources_for_attack(800)
+        second = botnet.sources_for_attack(800)
+        estimate = estimate_population(first, second)
+        assert estimate.usable
+        assert estimate.estimate == pytest.approx(3_000, rel=0.25)
+
+    def test_churn_inflates_estimate(self, plan):
+        stable = Botnet(1, plan, RngFactory(3).stream("cr2"), size=2_000,
+                        daily_churn=0.0)
+        churny = Botnet(2, plan, RngFactory(3).stream("cr3"), size=2_000,
+                        daily_churn=0.05)
+        first_stable = stable.sources_for_attack(600)
+        first_churny = churny.sources_for_attack(600)
+        stable.advance_to(30)
+        churny.advance_to(30)
+        second_stable = stable.sources_for_attack(600)
+        second_churny = churny.sources_for_attack(600)
+        stable_estimate = estimate_population(first_stable, second_stable)
+        churny_estimate = estimate_population(first_churny, second_churny)
+        # Churn breaks recaptures: the population looks bigger than it is
+        # ("vector instances" overstate stable bot counts).
+        assert churny_estimate.estimate > stable_estimate.estimate
+
+    def test_no_recaptures_flagged(self):
+        estimate = estimate_population(
+            np.asarray([1, 2, 3]), np.asarray([4, 5, 6])
+        )
+        assert not estimate.usable
+        assert estimate.recaptured == 0
+
+    def test_chapman_small_sample(self):
+        estimate = estimate_population(
+            np.asarray([1, 2, 3, 4]), np.asarray([3, 4, 5, 6])
+        )
+        # Chapman: (5*5/3) - 1 = 7.33
+        assert estimate.estimate == pytest.approx(25 / 3 - 1)

@@ -1,0 +1,121 @@
+"""Tests for carpet-bombing prefix aggregation (paper Appendix I)."""
+
+import pytest
+
+from repro.net.addr import parse_ip, parse_prefix
+from repro.net.rir import RirRegistry
+from repro.net.routing import RoutingTable
+from repro.observatories.carpet import (
+    CarpetAggregator,
+    PrefixAttack,
+    TargetObservation,
+)
+
+
+@pytest.fixture()
+def world():
+    """Two allocation blocks under one routed /16, plus a /20 route."""
+    routing = RoutingTable()
+    rir = RirRegistry()
+    routing.announce(parse_prefix("10.0.0.0/16"), 64500)
+    routing.announce(parse_prefix("10.0.0.0/20"), 64500)
+    rir.allocate(parse_prefix("10.0.0.0/17"), "RIPE", 64500)
+    rir.allocate(parse_prefix("10.0.128.0/17"), "RIPE", 64500)
+    return CarpetAggregator(routing, rir)
+
+
+def obs(ip, start=0.0, end=60.0):
+    return TargetObservation(target=parse_ip(ip), start=start, end=end)
+
+
+class TestTimeClustering:
+    def test_temporally_close_observations_cluster(self, world):
+        attacks = world.aggregate([obs("10.0.1.1"), obs("10.0.2.2", start=30.0)])
+        assert len(attacks) == 1
+        assert len(attacks[0].targets) == 2
+
+    def test_distant_observations_split(self, world):
+        attacks = world.aggregate(
+            [obs("10.0.1.1", end=60.0), obs("10.0.2.2", start=10_000.0, end=10_060.0)]
+        )
+        assert len(attacks) == 2
+
+    def test_gap_tolerance(self, world):
+        # Second observation starts 200 s after the first ends; default
+        # gap tolerance is 300 s, so they merge.
+        attacks = world.aggregate(
+            [obs("10.0.1.1", end=60.0), obs("10.0.2.2", start=260.0, end=320.0)]
+        )
+        assert len(attacks) == 1
+
+    def test_empty_input(self, world):
+        assert world.aggregate([]) == []
+
+
+class TestPrefixSelection:
+    def test_single_target_is_host_route(self, world):
+        attacks = world.aggregate([obs("10.0.1.1")])
+        assert attacks[0].prefix.length == 32
+        assert not attacks[0].is_carpet
+
+    def test_longest_routed_prefix_chosen(self, world):
+        # Both in the /20: the /20 route is preferred over the /16.
+        attacks = world.aggregate([obs("10.0.1.1"), obs("10.0.14.200")])
+        assert str(attacks[0].prefix) == "10.0.0.0/20"
+        assert attacks[0].is_carpet
+
+    def test_falls_back_to_wider_route(self, world):
+        # Spanning beyond the /20 but within the /16 and one block.
+        attacks = world.aggregate([obs("10.0.1.1"), obs("10.0.100.1")])
+        assert str(attacks[0].prefix) == "10.0.0.0/16"
+
+    def test_unrouted_targets_get_common_prefix(self, world):
+        attacks = world.aggregate([obs("192.0.2.1"), obs("192.0.2.130")])
+        assert str(attacks[0].prefix) == "192.0.2.0/24"
+
+
+class TestAllocationBlockBoundary:
+    def test_never_aggregates_across_blocks(self, world):
+        # 10.0.1.1 is in the first /17, 10.0.200.1 in the second: even
+        # though the routed /16 covers both, they stay separate attacks.
+        attacks = world.aggregate([obs("10.0.1.1"), obs("10.0.200.1")])
+        assert len(attacks) == 2
+
+    def test_brazil_style_wave_counts_per_block(self, world):
+        # One campaign hitting both blocks plus an unallocated prefix:
+        # three recorded attacks (the Appendix-I spike mechanism).
+        observations = [
+            obs("10.0.1.1"),
+            obs("10.0.2.2"),
+            obs("10.0.200.1"),
+            obs("192.0.2.1"),
+        ]
+        attacks = world.aggregate(observations)
+        assert len(attacks) == 3
+
+    def test_attack_metadata(self, world):
+        attacks = world.aggregate(
+            [obs("10.0.1.1", start=5.0, end=50.0), obs("10.0.2.2", start=0.0, end=70.0)]
+        )
+        attack = attacks[0]
+        assert attack.start == 0.0
+        assert attack.end == 70.0
+        assert attack.targets == (parse_ip("10.0.1.1"), parse_ip("10.0.2.2"))
+
+
+class TestValidation:
+    def test_observation_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            TargetObservation(target=1, start=10.0, end=5.0)
+
+    def test_bad_length_bounds_rejected(self):
+        routing = RoutingTable()
+        rir = RirRegistry()
+        with pytest.raises(ValueError):
+            CarpetAggregator(routing, rir, min_prefix_len=28, max_prefix_len=11)
+
+    def test_prefix_attack_is_carpet(self):
+        single = PrefixAttack(
+            prefix=parse_prefix("10.0.0.1/32"), targets=(1,), start=0.0, end=1.0
+        )
+        assert not single.is_carpet

@@ -1,0 +1,74 @@
+"""Tests for the ddoscovery command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSensitivity:
+    def test_prints_floors(self, capsys):
+        assert main(["sensitivity", "--prefix-length", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "/20" in output
+        assert "Mbps" in output
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(SystemExit):
+            main(["sensitivity", "--prefix-length", "40"])
+
+
+class TestSurvey:
+    def test_prints_tables(self, capsys):
+        assert main(["survey"]) == 0
+        output = capsys.readouterr().out
+        assert "industry report survey" in output
+        assert "Netscout" in output
+        assert "Table 3" in output
+
+
+class TestLandscape:
+    def test_prints_statistics(self, capsys):
+        assert main(["landscape", "--weeks", "16", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "ground truth over 16 weeks" in output
+        assert "direct-path" in output
+        assert "SYN-flood" in output
+
+
+class TestRun:
+    def test_single_artefact_to_stdout(self, capsys):
+        assert main(["run", "--weeks", "20", "--artefact", "T3"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 3" in output
+
+    def test_artefacts_to_directory(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--weeks",
+                    "20",
+                    "--artefact",
+                    "T2",
+                    "S3",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert (tmp_path / "T2.txt").exists()
+        assert (tmp_path / "S3.txt").exists()
+        assert "observatories" in (tmp_path / "T2.txt").read_text()
+
+    def test_unknown_artefact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--weeks", "20", "--artefact", "F99"])
+
+    def test_too_short_window_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--weeks", "4"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,141 @@
+"""Tests for correlation matrices, quarterly boxes, and trend classes."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import (
+    box_stats,
+    correlation_matrix,
+    quarterly_correlations,
+)
+from repro.core.trends import (
+    FOUR_YEARS_WEEKS,
+    Trend,
+    classify_trend,
+)
+from repro.util.calendar import StudyCalendar
+
+CALENDAR = StudyCalendar(dt.date(2019, 1, 1), dt.date(2020, 6, 30))
+
+
+class TestCorrelationMatrix:
+    def series(self):
+        rng = np.random.default_rng(0)
+        base = np.sin(np.linspace(0, 6, 80))
+        return {
+            "a": base + rng.normal(0, 0.1, 80),
+            "b": base + rng.normal(0, 0.1, 80),
+            "c": rng.normal(0, 1, 80),
+        }
+
+    def test_symmetry_and_unit_diagonal(self):
+        matrix = correlation_matrix(self.series())
+        assert np.allclose(matrix.coefficients, matrix.coefficients.T)
+        assert np.allclose(np.diag(matrix.coefficients), 1.0)
+
+    def test_correlated_pair_detected(self):
+        matrix = correlation_matrix(self.series())
+        ab = matrix.pair("a", "b")
+        assert ab.coefficient > 0.8
+        assert ab.p_value < 0.01
+
+    def test_uncorrelated_pair_insignificant(self):
+        matrix = correlation_matrix(self.series())
+        mask = matrix.significant_mask()
+        labels = matrix.labels
+        i, j = labels.index("a"), labels.index("c")
+        assert abs(matrix.coefficients[i, j]) < 0.4
+
+    def test_pearson_method(self):
+        matrix = correlation_matrix(self.series(), method="pearson")
+        assert matrix.method == "pearson"
+        assert matrix.pair("a", "b").coefficient > 0.8
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            correlation_matrix(self.series(), method="kendall")
+
+    def test_single_series_rejected(self):
+        with pytest.raises(ValueError):
+            correlation_matrix({"a": np.ones(10)})
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            correlation_matrix({"a": np.ones(10), "b": np.ones(12)})
+
+
+class TestQuarterlyCorrelations:
+    def test_one_value_per_full_quarter(self):
+        rng = np.random.default_rng(1)
+        a = rng.random(CALENDAR.n_weeks)
+        b = rng.random(CALENDAR.n_weeks)
+        values = quarterly_correlations(a, b, CALENDAR)
+        # 2019Q1..2020Q2 inclusive = 6 quarters (all with >= 4 weeks).
+        assert len(values) == 6
+        assert all(-1.0 <= value <= 1.0 for value in values)
+
+    def test_constant_quarters_skipped(self):
+        a = np.zeros(CALENDAR.n_weeks)
+        b = np.arange(CALENDAR.n_weeks, dtype=float)
+        assert quarterly_correlations(a, b, CALENDAR) == []
+
+    def test_perfectly_correlated(self):
+        a = np.arange(CALENDAR.n_weeks, dtype=float)
+        values = quarterly_correlations(a, 2 * a, CALENDAR)
+        assert all(value == pytest.approx(1.0) for value in values)
+
+
+class TestBoxStats:
+    def test_summary_values(self):
+        stats = box_stats([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.minimum == 1.0
+        assert stats.median == 3.0
+        assert stats.maximum == 5.0
+        assert stats.mean == 3.0
+        assert stats.n == 5
+        assert stats.q1 == 2.0
+        assert stats.q3 == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            box_stats([])
+
+
+class TestTrendClassification:
+    def test_increasing(self):
+        values = np.linspace(1.0, 2.0, FOUR_YEARS_WEEKS)
+        result = classify_trend(values)
+        assert result.trend is Trend.INCREASING
+        assert result.symbol == "▲"
+        assert result.relative_change > 0.5
+
+    def test_decreasing(self):
+        values = np.linspace(2.0, 1.0, FOUR_YEARS_WEEKS)
+        assert classify_trend(values).trend is Trend.DECREASING
+
+    def test_steady(self):
+        rng = np.random.default_rng(2)
+        values = 1.0 + rng.normal(0, 0.01, FOUR_YEARS_WEEKS)
+        assert classify_trend(values).trend is Trend.STEADY
+
+    def test_threshold_boundaries(self):
+        up_4_percent = np.linspace(1.0, 1.04, FOUR_YEARS_WEEKS)
+        up_6_percent = np.linspace(1.0, 1.06, FOUR_YEARS_WEEKS)
+        assert classify_trend(up_4_percent).trend is Trend.STEADY
+        assert classify_trend(up_6_percent).trend is Trend.INCREASING
+
+    def test_horizon_clipping(self):
+        values = np.linspace(1.0, 2.0, 100)
+        result = classify_trend(values, horizon_weeks=500)
+        assert result.horizon_weeks == 100
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            classify_trend(np.asarray([1.0]))
+
+    def test_symbols(self):
+        assert str(Trend.INCREASING) == "▲"
+        assert str(Trend.DECREASING) == "▼"
+        assert str(Trend.STEADY) == "◆"

@@ -1,0 +1,110 @@
+"""Tests for background-radiation synthesis and detector robustness."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.ibr import IbrConfig, IbrGenerator
+from repro.attacks.traces import backscatter_trace, merge_traces
+from repro.net.addr import parse_ip
+from repro.net.plan import UCSD_TELESCOPE_PREFIXES
+from repro.observatories.rsdos import RsdosDetector
+from repro.traffic.packet import UDP, Packet
+from repro.util.rng import RngFactory
+
+
+def detect(packets):
+    detector = RsdosDetector()
+    alerts = []
+    for packet in packets:
+        alerts.extend(detector.observe(packet))
+    alerts.extend(detector.flush())
+    return alerts
+
+
+@pytest.fixture()
+def generator(rng):
+    return IbrGenerator(UCSD_TELESCOPE_PREFIXES, rng)
+
+
+class TestSynthesis:
+    def test_scanners_are_not_backscatter(self, generator):
+        packets = generator.scanners(duration=120.0)
+        assert packets
+        assert not any(packet.is_backscatter_candidate for packet in packets)
+
+    def test_probers_are_not_backscatter(self, generator):
+        # UDP queries leave from ephemeral ports: the source-port
+        # heuristic must reject them.
+        packets = generator.probers(duration=120.0)
+        assert packets
+        assert not any(packet.is_backscatter_candidate for packet in packets)
+
+    def test_misconfig_is_backscatter_but_slow(self, generator):
+        packets = generator.misconfiguration(duration=600.0)
+        if packets:  # low rates can produce empty runs
+            assert all(packet.is_backscatter_candidate for packet in packets)
+
+    def test_mixed_is_sorted(self, generator):
+        packets = generator.mixed(duration=60.0)
+        times = [packet.timestamp for packet in packets]
+        assert times == sorted(times)
+
+    def test_targets_inside_telescope(self, generator):
+        for packet in generator.mixed(duration=30.0)[:200]:
+            assert any(p.contains(packet.dst_ip) for p in UCSD_TELESCOPE_PREFIXES)
+
+    def test_requires_prefixes(self, rng):
+        with pytest.raises(ValueError):
+            IbrGenerator((), rng)
+
+
+class TestDetectorRobustness:
+    def test_no_false_positives_on_pure_ibr(self, rng):
+        generator = IbrGenerator(
+            UCSD_TELESCOPE_PREFIXES,
+            rng,
+            IbrConfig(scanner_count=30, prober_count=15, misconfig_count=10),
+        )
+        packets = generator.mixed(duration=900.0)
+        assert len(packets) > 1000
+        assert detect(packets) == []
+
+    def test_attack_found_inside_ibr(self, rng_factory):
+        noise_rng = rng_factory.stream("ibr")
+        attack_rng = rng_factory.stream("attack")
+        generator = IbrGenerator(UCSD_TELESCOPE_PREFIXES, noise_rng)
+        noise = generator.mixed(duration=600.0)
+        victim = parse_ip("203.0.113.50")
+        attack = backscatter_trace(
+            attack_rng,
+            victim,
+            UCSD_TELESCOPE_PREFIXES,
+            attack_pps=200_000,
+            duration=300.0,
+            start=100.0,
+        )
+        alerts = detect(list(merge_traces(noise, attack)))
+        assert len(alerts) == 1
+        assert alerts[0].victim == victim
+
+
+class TestUdpBackscatterHeuristic:
+    def make(self, src_port):
+        return Packet(
+            timestamp=0.0,
+            src_ip=1,
+            dst_ip=2,
+            protocol=UDP,
+            src_port=src_port,
+            dst_port=40_000,
+        )
+
+    def test_service_port_responses_accepted(self):
+        assert self.make(53).is_backscatter_candidate  # DNS response
+        assert self.make(123).is_backscatter_candidate  # NTP response
+        assert self.make(1900).is_backscatter_candidate  # SSDP (high port)
+        assert self.make(11211).is_backscatter_candidate  # Memcached
+
+    def test_ephemeral_port_queries_rejected(self):
+        assert not self.make(40_000).is_backscatter_candidate
+        assert not self.make(53_123).is_backscatter_candidate

@@ -1,0 +1,144 @@
+"""Cross-level integration: macro observatory output vs micro detectors.
+
+The macro models take analytic shortcuts; these tests close the loop by
+feeding macro outputs (or the traces behind them) through the faithful
+packet-level / record-level algorithms and checking the two levels tell
+the same story.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.events import AttackClass
+from repro.net.rir import RirRegistry
+from repro.net.routing import RoutingTable
+from repro.net.addr import parse_prefix
+from repro.observatories.carpet import CarpetAggregator, TargetObservation
+
+
+class TestCarpetRoundTrip:
+    """Honeypot carpet records -> Appendix-I aggregation -> prefix attacks."""
+
+    def build_world(self, n_blocks=4):
+        routing = RoutingTable()
+        rir = RirRegistry()
+        base = parse_prefix("100.64.0.0/14")
+        routing.announce(base, 65000)
+        blocks = list(base.subnets(16))[:n_blocks]
+        for i, block in enumerate(blocks):
+            rir.allocate(block, "LACNIC", 65000 + i)
+            routing.announce(block, 65000 + i)
+        return CarpetAggregator(routing, rir), blocks
+
+    def test_macro_carpet_records_reconstruct_to_blocks(self, small_study):
+        """Per-IP carpet records from the simulated Hopscotch, when pushed
+        through the aggregation algorithm, collapse to at most one attack
+        per allocation block per time cluster."""
+        aggregator = CarpetAggregator(
+            small_study.plan.routing, small_study.plan.rir
+        )
+        observations = small_study.observations["Hopscotch"]
+        # Take one busy day's records and treat them as per-IP sightings.
+        days, counts = np.unique(observations.day, return_counts=True)
+        busy_day = int(days[np.argmax(counts)])
+        mask = observations.day == busy_day
+        sightings = [
+            TargetObservation(
+                target=int(target), start=0.0, end=600.0
+            )
+            for target in observations.target[mask][:300]
+        ]
+        attacks = aggregator.aggregate(sightings)
+        # Aggregation never inflates: one record per (block, cluster).
+        assert 0 < len(attacks) <= len(sightings)
+        # Every input target is preserved in some reconstructed attack.
+        reconstructed = {t for attack in attacks for t in attack.targets}
+        assert reconstructed == {s.target for s in sightings}
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # block index
+                st.integers(min_value=0, max_value=65_535),  # offset
+                st.floats(min_value=0, max_value=200),  # start
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_aggregation_invariants(self, raw):
+        aggregator, blocks = self.build_world()
+        observations = [
+            TargetObservation(
+                target=blocks[b].network + offset, start=start, end=start + 60
+            )
+            for b, offset, start in raw
+        ]
+        attacks = aggregator.aggregate(observations)
+        # Invariant 1: targets partition exactly.
+        inputs = {o.target for o in observations}
+        outputs = [t for attack in attacks for t in attack.targets]
+        assert sorted(outputs) == sorted(set(outputs))  # no duplicates
+        assert set(outputs) == inputs
+        # Invariant 2: no attack spans two allocation blocks.
+        for attack in attacks:
+            owning = {
+                next(i for i, block in enumerate(blocks) if block.contains(t))
+                for t in attack.targets
+            }
+            assert len(owning) == 1
+        # Invariant 3: prefixes cover their targets.
+        for attack in attacks:
+            assert all(attack.prefix.contains(t) for t in attack.targets)
+
+
+class TestMacroCountsAreConservative:
+    def test_no_observatory_exceeds_ground_truth(self, small_study):
+        dp_truth = small_study.ground_truth_weekly(AttackClass.DIRECT_PATH).sum()
+        ra_truth = small_study.ground_truth_weekly(
+            AttackClass.REFLECTION_AMPLIFICATION
+        ).sum()
+        for name, observations in small_study.observations.items():
+            dp_seen = int(
+                observations.class_mask(AttackClass.DIRECT_PATH).sum()
+            )
+            ra_seen = int(
+                observations.class_mask(
+                    AttackClass.REFLECTION_AMPLIFICATION
+                ).sum()
+            )
+            assert dp_seen <= dp_truth, name
+            # Carpet splitting can multiply RA records at honeypots, but
+            # never beyond the per-event carpet cap.
+            assert ra_seen <= ra_truth * 48, name
+
+    def test_non_carpet_honeypot_counts_conservative(self):
+        from repro.core.study import Study, StudyConfig
+        from repro.net.plan import PlanConfig
+        from tests.conftest import SMALL_CALENDAR
+
+        study = Study(
+            StudyConfig(
+                seed=1,
+                calendar=SMALL_CALENDAR,
+                dp_per_day=30.0,
+                ra_per_day=25.0,
+                plan=PlanConfig(seed=1, tail_as_count=100),
+                generator=_no_carpet_generator(),
+            )
+        )
+        ra_truth = study.ground_truth_weekly(
+            AttackClass.REFLECTION_AMPLIFICATION
+        ).sum()
+        for name in ("Hopscotch", "AmpPot", "NewKid"):
+            assert len(study.observations[name]) <= ra_truth, name
+
+
+def _no_carpet_generator():
+    from repro.attacks.generator import GeneratorConfig
+
+    return GeneratorConfig(
+        carpet_probability=0.0, carpet_campaign_probability=0.0
+    )

@@ -1,0 +1,178 @@
+"""Tests for IPv4 interval sets (including model-based property tests)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addr import IPV4_MAX, Prefix, parse_ip, parse_prefix
+from repro.net.ipset import IPSet
+
+# Small-universe intervals so the brute-force model stays cheap.
+intervals = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=400),
+        st.integers(min_value=0, max_value=400),
+    ).map(lambda pair: (min(pair), max(pair))),
+    max_size=8,
+)
+
+
+def as_python_set(ipset: IPSet) -> set[int]:
+    return {
+        address
+        for start, end in ipset.intervals()
+        for address in range(start, end + 1)
+    }
+
+
+class TestConstruction:
+    def test_normalises_overlaps(self):
+        ipset = IPSet([(10, 20), (15, 30), (32, 40)])
+        assert list(ipset.intervals()) == [(10, 30), (32, 40)]
+        assert len(ipset) == 30
+
+    def test_merges_adjacent(self):
+        ipset = IPSet([(10, 20), (21, 30)])
+        assert ipset.interval_count == 1
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            IPSet([(20, 10)])
+
+    def test_rejects_out_of_space(self):
+        with pytest.raises(ValueError):
+            IPSet([(0, IPV4_MAX + 1)])
+
+    def test_from_prefixes(self):
+        ipset = IPSet.from_prefixes(
+            [parse_prefix("10.0.0.0/24"), parse_prefix("10.0.1.0/24")]
+        )
+        assert ipset.interval_count == 1
+        assert len(ipset) == 512
+
+    def test_everything(self):
+        assert len(IPSet.everything()) == 1 << 32
+
+
+class TestMembership:
+    def test_contains(self):
+        ipset = IPSet([(parse_ip("10.0.0.0"), parse_ip("10.0.0.255"))])
+        assert parse_ip("10.0.0.7") in ipset
+        assert parse_ip("10.0.1.0") not in ipset
+        assert parse_ip("9.255.255.255") not in ipset
+
+    def test_empty(self):
+        empty = IPSet()
+        assert not empty
+        assert len(empty) == 0
+        assert 0 not in empty
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = IPSet([(0, 10)])
+        b = IPSet([(20, 30)])
+        assert list(a.union(b).intervals()) == [(0, 10), (20, 30)]
+
+    def test_intersection(self):
+        a = IPSet([(0, 100)])
+        b = IPSet([(50, 150)])
+        assert list(a.intersection(b).intervals()) == [(50, 100)]
+
+    def test_difference(self):
+        a = IPSet([(0, 100)])
+        b = IPSet([(40, 60)])
+        assert list(a.difference(b).intervals()) == [(0, 39), (61, 100)]
+
+    def test_overlaps(self):
+        assert IPSet([(0, 10)]).overlaps(IPSet([(10, 20)]))
+        assert not IPSet([(0, 9)]).overlaps(IPSet([(11, 20)]))
+
+    @given(intervals, intervals)
+    @settings(max_examples=60)
+    def test_union_matches_model(self, a_raw, b_raw):
+        a, b = IPSet(a_raw), IPSet(b_raw)
+        assert as_python_set(a.union(b)) == as_python_set(a) | as_python_set(b)
+
+    @given(intervals, intervals)
+    @settings(max_examples=60)
+    def test_intersection_matches_model(self, a_raw, b_raw):
+        a, b = IPSet(a_raw), IPSet(b_raw)
+        assert as_python_set(a.intersection(b)) == (
+            as_python_set(a) & as_python_set(b)
+        )
+
+    @given(intervals, intervals)
+    @settings(max_examples=60)
+    def test_difference_matches_model(self, a_raw, b_raw):
+        a, b = IPSet(a_raw), IPSet(b_raw)
+        assert as_python_set(a.difference(b)) == (
+            as_python_set(a) - as_python_set(b)
+        )
+
+    @given(intervals)
+    @settings(max_examples=40)
+    def test_difference_with_self_is_empty(self, raw):
+        ipset = IPSet(raw)
+        assert not ipset.difference(ipset)
+
+
+class TestPrefixDecomposition:
+    def test_exact_prefix(self):
+        ipset = IPSet.from_prefixes([parse_prefix("10.0.0.0/24")])
+        assert ipset.to_prefixes() == [parse_prefix("10.0.0.0/24")]
+
+    def test_unaligned_range(self):
+        ipset = IPSet([(1, 6)])  # 1,2-3,4-5,6 -> /32,/31,/31,/32
+        prefixes = ipset.to_prefixes()
+        assert sum(prefix.size for prefix in prefixes) == 6
+        covered = {
+            address
+            for prefix in prefixes
+            for address in range(prefix.first, prefix.last + 1)
+        }
+        assert covered == set(range(1, 7))
+
+    @given(intervals)
+    @settings(max_examples=60)
+    def test_decomposition_round_trip(self, raw):
+        ipset = IPSet(raw)
+        rebuilt = IPSet.from_prefixes(ipset.to_prefixes())
+        assert rebuilt == ipset
+
+    @given(intervals)
+    @settings(max_examples=40)
+    def test_prefixes_are_disjoint(self, raw):
+        prefixes = IPSet(raw).to_prefixes()
+        total = sum(prefix.size for prefix in prefixes)
+        assert total == len(IPSet(raw))
+
+
+class TestSampling:
+    def test_samples_inside_set(self):
+        ipset = IPSet([(100, 200), (1000, 1100)])
+        rng = np.random.default_rng(0)
+        samples = ipset.sample(rng, 500)
+        assert all(int(sample) in ipset for sample in samples)
+
+    def test_covers_both_intervals(self):
+        ipset = IPSet([(0, 9), (1000, 1009)])
+        rng = np.random.default_rng(1)
+        samples = set(ipset.sample(rng, 400).tolist())
+        assert any(sample < 100 for sample in samples)
+        assert any(sample >= 1000 for sample in samples)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            IPSet().sample(np.random.default_rng(0), 1)
+
+
+class TestTelescopeFootprints:
+    def test_ucsd_footprint(self):
+        from repro.net.plan import UCSD_TELESCOPE_PREFIXES
+
+        footprint = IPSet.from_prefixes(UCSD_TELESCOPE_PREFIXES)
+        # /9 + adjacent /10 merge into one interval of 12.58M addresses.
+        assert footprint.interval_count == 1
+        assert len(footprint) == (1 << 23) + (1 << 22)

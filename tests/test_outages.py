@@ -1,0 +1,89 @@
+"""Tests for platform outage windows (paper Section 6.1 missing data)."""
+
+import datetime as dt
+
+import numpy as np
+
+from repro.core.study import Study, StudyConfig
+from repro.net.plan import PlanConfig
+from repro.observatories.registry import PAPER_OUTAGES, _outage_days
+from repro.util.calendar import STUDY_CALENDAR, StudyCalendar
+from tests.conftest import SMALL_CALENDAR
+
+
+def outage_study(paper_outages: bool) -> Study:
+    config = StudyConfig(
+        seed=0,
+        calendar=SMALL_CALENDAR,
+        dp_per_day=40.0,
+        ra_per_day=30.0,
+        plan=PlanConfig(seed=0, tail_as_count=120),
+        paper_outages=paper_outages,
+    )
+    return Study(config)
+
+
+class TestOutageWindows:
+    def test_paper_outage_dates(self):
+        assert "ORION" in PAPER_OUTAGES
+        assert "IXP" in PAPER_OUTAGES
+        orion_start, orion_end = PAPER_OUTAGES["ORION"][0]
+        assert orion_start == dt.date(2019, 7, 1)
+        assert orion_end == dt.date(2020, 1, 1)
+
+    def test_outage_days_conversion(self):
+        windows = _outage_days(STUDY_CALENDAR, "ORION")
+        assert len(windows) == 1
+        start, end = windows[0]
+        assert STUDY_CALENDAR.date_of_day(start) == dt.date(2019, 7, 1)
+        assert end - start == 184  # Jul-Dec 2019
+
+    def test_outside_window_skipped(self):
+        late = StudyCalendar(dt.date(2021, 1, 1), dt.date(2022, 1, 1))
+        assert _outage_days(late, "ORION") == ()
+        assert _outage_days(None, "ORION") == ()
+
+    def test_unknown_platform_has_none(self):
+        assert _outage_days(STUDY_CALENDAR, "UCSD") == ()
+
+
+class TestOutageEffects:
+    def test_orion_dark_in_2019h2(self):
+        study = outage_study(paper_outages=True)
+        counts = study.observations["ORION"].weekly_counts(study.calendar)
+        dark_weeks = slice(
+            study.calendar.week_of_date(dt.date(2019, 7, 8)),
+            study.calendar.week_of_date(dt.date(2019, 12, 23)),
+        )
+        assert counts[dark_weeks].sum() == 0
+        # Light before and after.
+        assert counts[:20].sum() > 0
+        assert counts[-10:].sum() > 0
+
+    def test_ixp_dark_in_january_2019(self):
+        study = outage_study(paper_outages=True)
+        counts = study.observations["IXP"].weekly_counts(study.calendar)
+        assert counts[:4].sum() == 0
+
+    def test_outages_can_be_disabled(self):
+        study = outage_study(paper_outages=False)
+        counts = study.observations["ORION"].weekly_counts(study.calendar)
+        dark_weeks = slice(
+            study.calendar.week_of_date(dt.date(2019, 7, 8)),
+            study.calendar.week_of_date(dt.date(2019, 12, 23)),
+        )
+        assert counts[dark_weeks].sum() > 0
+
+    def test_normalisation_survives_ixp_dark_baseline(self):
+        # The IXP's first four baseline weeks are zero; normalisation must
+        # still produce a usable series (falls back to non-zero weeks).
+        study = outage_study(paper_outages=True)
+        from repro.attacks.events import AttackClass
+        from repro.core.timeseries import WeeklySeries
+
+        counts = study.observations["IXP"].weekly_counts(
+            study.calendar, AttackClass.DIRECT_PATH
+        )
+        series = WeeklySeries(label="IXP (DP)", counts=counts, calendar=study.calendar)
+        assert np.isfinite(series.normalized).all()
+        assert series.normalized.max() > 0

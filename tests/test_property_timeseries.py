@@ -1,0 +1,74 @@
+"""Property-based tests for time-series primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.timeseries import BASELINE_WEEKS, ewma, normalize
+
+# Weekly attack counts are non-negative integers in practice; subnormal
+# floats would only exercise float-division overflow, not the semantics.
+count_series = st.lists(
+    st.integers(min_value=0, max_value=10**6),
+    min_size=BASELINE_WEEKS,
+    max_size=120,
+).map(lambda values: np.asarray(values, dtype=np.float64))
+
+
+class TestNormalizeProperties:
+    @given(count_series)
+    @settings(max_examples=60)
+    def test_scale_invariance(self, counts):
+        # Normalising k*x equals normalising x: absolute scale vanishes.
+        a = normalize(counts)
+        b = normalize(counts * 7.5)
+        assert np.allclose(a, b, equal_nan=True)
+
+    @given(count_series)
+    @settings(max_examples=60)
+    def test_non_negative_and_finite(self, counts):
+        normalized = normalize(counts)
+        assert np.isfinite(normalized).all()
+        assert (normalized >= 0).all()
+
+    @given(count_series.filter(lambda c: np.median(c[:BASELINE_WEEKS]) > 0))
+    @settings(max_examples=60)
+    def test_baseline_median_is_one(self, counts):
+        normalized = normalize(counts)
+        assert np.median(normalized[:BASELINE_WEEKS]) == 1.0
+
+    @given(count_series)
+    @settings(max_examples=60)
+    def test_is_a_uniform_positive_rescale(self, counts):
+        # Every non-zero value is divided by the same positive constant.
+        normalized = normalize(counts)
+        mask = counts > 0
+        if mask.any():
+            ratios = normalized[mask] / counts[mask]
+            assert np.allclose(ratios, ratios[0], rtol=1e-12)
+            assert ratios[0] > 0
+
+
+class TestEwmaProperties:
+    @given(count_series, st.integers(min_value=1, max_value=30))
+    @settings(max_examples=60)
+    def test_bounded_by_running_extremes(self, counts, span):
+        smoothed = ewma(counts, span)
+        running_min = np.minimum.accumulate(counts)
+        running_max = np.maximum.accumulate(counts)
+        assert (smoothed >= running_min - 1e-9).all()
+        assert (smoothed <= running_max + 1e-9).all()
+
+    @given(count_series)
+    @settings(max_examples=60)
+    def test_linearity(self, counts):
+        # EWMA is linear: ewma(a + b) == ewma(a) + ewma(b).
+        other = np.roll(counts, 3)
+        combined = ewma(counts + other)
+        separate = ewma(counts) + ewma(other)
+        assert np.allclose(combined, separate, rtol=1e-9, atol=1e-6)
+
+    @given(count_series)
+    @settings(max_examples=60)
+    def test_span_one_is_identity(self, counts):
+        assert np.allclose(ewma(counts, span=1), counts)

@@ -1,0 +1,62 @@
+"""Tests for plain-text rendering helpers."""
+
+import numpy as np
+
+from repro.core.render import (
+    format_matrix,
+    format_percent,
+    format_table,
+    heatmap,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline(np.asarray([])) == ""
+
+    def test_constant_series(self):
+        line = sparkline(np.ones(10))
+        assert len(line) == 10
+        assert len(set(line)) == 1
+
+    def test_resamples_to_width(self):
+        line = sparkline(np.arange(300, dtype=float), width=60)
+        assert len(line) == 60
+
+    def test_monotone_input_monotone_output(self):
+        line = sparkline(np.arange(30, dtype=float), width=30)
+        levels = " ▁▂▃▄▅▆▇█"
+        indices = [levels.index(ch) for ch in line]
+        assert indices == sorted(indices)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"], [["a", "1"], ["long-name", "22"]])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("name")
+        # All rows align to equal width.
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_percent(self):
+        assert format_percent(0.055) == "5.5%"
+        assert format_percent(0.5, digits=0) == "50%"
+
+
+class TestFormatMatrix:
+    def test_contains_labels_and_signs(self):
+        matrix = np.asarray([[1.0, -0.5], [-0.5, 1.0]])
+        text = format_matrix(["alpha", "beta"], matrix)
+        assert "alpha" in text and "beta" in text
+        assert "+1.00" in text and "-0.50" in text
+
+
+class TestHeatmap:
+    def test_one_line_per_series(self):
+        matrix = np.random.default_rng(0).random((3, 100))
+        text = heatmap(["a", "bb", "ccc"], matrix, width=40)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert all("|" in line for line in lines)

@@ -1,0 +1,125 @@
+"""Tests for the vendor-style report generator."""
+
+import pytest
+
+from repro.industry.reportgen import (
+    ReportInputs,
+    ReportTone,
+    compute_inputs,
+    generate_report,
+)
+
+
+def inputs(total=1000, previous=800, peak=150.0, previous_peak=100.0):
+    return ReportInputs(
+        year=2022,
+        total=total,
+        previous_total=previous,
+        peak_gbps=peak,
+        previous_peak_gbps=previous_peak,
+        median_duration_min=10.0,
+        short_attack_share=0.62,
+        vector_shares={"DNS": 0.3, "SYN-flood": 0.25, "NTP": 0.2},
+        udp_share=0.6,
+        ra_share=0.45,
+        dp_share=0.55,
+    )
+
+
+class TestComputeInputs:
+    def test_from_simulated_observations(self, small_study):
+        observations = small_study.observations["Netscout"]
+        report_inputs = compute_inputs(observations, small_study.calendar, 2019)
+        assert report_inputs.total > 0
+        assert report_inputs.previous_total == 0  # 2018 outside the window
+        assert 0 < report_inputs.peak_gbps
+        assert abs(sum(report_inputs.vector_shares.values()) - 1.0) < 1e-9
+        assert 0 <= report_inputs.udp_share <= 1
+        assert report_inputs.ra_share + report_inputs.dp_share == pytest.approx(1.0)
+
+    def test_region_and_sector_breakdowns(self, small_study):
+        observations = small_study.observations["Netscout"]
+        with_plan = compute_inputs(
+            observations, small_study.calendar, 2019, plan=small_study.plan
+        )
+        assert with_plan.region_shares
+        assert abs(sum(with_plan.region_shares.values()) - 1.0) < 0.05
+        assert with_plan.sector_shares
+        assert "hosting" in with_plan.sector_shares
+        without_plan = compute_inputs(observations, small_study.calendar, 2019)
+        assert without_plan.region_shares == {}
+
+    def test_breakdowns_render_in_neutral_report(self, small_study):
+        observations = small_study.observations["Netscout"]
+        report_inputs = compute_inputs(
+            observations, small_study.calendar, 2019, plan=small_study.plan
+        )
+        report = generate_report("ACME", report_inputs)
+        assert "Targeted regions" in report
+        assert "Targeted sectors" in report
+
+    def test_year_without_records_rejected(self, small_study):
+        observations = small_study.observations["Netscout"]
+        with pytest.raises(ValueError):
+            compute_inputs(observations, small_study.calendar, 2035)
+
+
+class TestChangeMaths:
+    def test_changes(self):
+        report_inputs = inputs(total=1100, previous=1000)
+        assert report_inputs.total_change == pytest.approx(0.1)
+        assert report_inputs.peak_change == pytest.approx(0.5)
+
+    def test_zero_previous(self):
+        report_inputs = inputs(previous=0, previous_peak=0.0)
+        assert report_inputs.total_change == 0.0
+        assert report_inputs.peak_change == 0.0
+
+
+class TestNeutralTone:
+    def test_reports_decreases_plainly(self):
+        report = generate_report("ACME", inputs(total=700, previous=1000))
+        assert "-30.0%" in report
+        assert "Method" in report
+
+    def test_reports_increases_plainly(self):
+        report = generate_report("ACME", inputs(total=1300, previous=1000))
+        assert "+30.0%" in report
+
+
+class TestPromotionalTone:
+    def test_growth_becomes_headline(self):
+        report = generate_report(
+            "ACME",
+            inputs(total=1300, previous=1000, peak=100.0, previous_peak=100.0),
+            ReportTone.PROMOTIONAL,
+        )
+        assert "surged 30%" in report
+
+    def test_picks_scariest_metric(self):
+        # Counts grew 10%, peak grew 80%: the headline takes the peak.
+        report = generate_report(
+            "ACME",
+            inputs(total=1100, previous=1000, peak=180.0, previous_peak=100.0),
+            ReportTone.PROMOTIONAL,
+        )
+        assert "80%" in report
+        assert "surged 10%" not in report
+
+    def test_decline_never_headlined(self):
+        # Everything shrank; the promotional report pivots to absolutes
+        # and reframes the decline (the paper's Section-3 critique).
+        report = generate_report(
+            "ACME",
+            inputs(total=700, previous=1000, peak=90.0, previous_peak=100.0),
+            ReportTone.PROMOTIONAL,
+        )
+        assert "-30" not in report
+        assert "largest ever" in report
+        assert "shifting tactics" in report
+
+    def test_always_ends_with_pitch(self):
+        report = generate_report(
+            "ACME", inputs(), ReportTone.PROMOTIONAL
+        )
+        assert "mitigation" in report

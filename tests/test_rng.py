@@ -1,0 +1,44 @@
+"""Tests for the deterministic RNG factory."""
+
+from repro.util.rng import RngFactory
+
+
+class TestDeterminism:
+    def test_same_label_same_stream(self):
+        factory = RngFactory(seed=42)
+        a = factory.stream("component").integers(0, 1 << 30, size=10)
+        b = factory.stream("component").integers(0, 1 << 30, size=10)
+        assert (a == b).all()
+
+    def test_different_labels_differ(self):
+        factory = RngFactory(seed=42)
+        a = factory.stream("alpha").integers(0, 1 << 30, size=10)
+        b = factory.stream("beta").integers(0, 1 << 30, size=10)
+        assert (a != b).any()
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(seed=1).stream("x").integers(0, 1 << 30, size=10)
+        b = RngFactory(seed=2).stream("x").integers(0, 1 << 30, size=10)
+        assert (a != b).any()
+
+    def test_stream_is_stable_across_instances(self):
+        a = RngFactory(seed=9).stream("telescope/ucsd").random(5)
+        b = RngFactory(seed=9).stream("telescope/ucsd").random(5)
+        assert (a == b).all()
+
+
+class TestChildFactories:
+    def test_child_namespacing_is_deterministic(self):
+        a = RngFactory(0).child("attacks").stream("generator").random(3)
+        b = RngFactory(0).child("attacks").stream("generator").random(3)
+        assert (a == b).all()
+
+    def test_child_differs_from_parent(self):
+        parent = RngFactory(0).stream("generator").random(3)
+        child = RngFactory(0).child("attacks").stream("generator").random(3)
+        assert (parent != child).any()
+
+    def test_distinct_children_differ(self):
+        a = RngFactory(0).child("x").stream("s").random(3)
+        b = RngFactory(0).child("y").stream("s").random(3)
+        assert (a != b).any()

@@ -1,0 +1,209 @@
+"""Tests for the packet-level Corsaro RSDoS detector (paper Appendix J)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.traces import (
+    backscatter_trace,
+    icmp_backscatter_trace,
+    merge_traces,
+    scan_trace,
+)
+from repro.net.addr import parse_ip, parse_prefix
+from repro.observatories.rsdos import (
+    MIN_DURATION_S,
+    MIN_PACKETS,
+    TIMEOUT_S,
+    WINDOW_PACKETS,
+    RsdosDetector,
+    RSDoSAlert,
+)
+from repro.traffic.packet import FLAG_ACK, FLAG_SYN, TCP, Packet
+
+VICTIM = parse_ip("203.0.113.7")
+TELESCOPE = (parse_prefix("44.0.0.0/9"),)
+
+
+def synack(ts, src=VICTIM, dst="44.1.2.3", sport=80):
+    return Packet(
+        timestamp=ts,
+        src_ip=src if isinstance(src, int) else parse_ip(src),
+        dst_ip=parse_ip(dst),
+        protocol=TCP,
+        src_port=sport,
+        dst_port=4000,
+        size=114,
+        tcp_flags=FLAG_SYN | FLAG_ACK,
+    )
+
+
+def run_detector(packets):
+    detector = RsdosDetector()
+    alerts = []
+    for packet in packets:
+        alerts.extend(detector.observe(packet))
+    alerts.extend(detector.flush())
+    return alerts
+
+
+class TestThresholds:
+    def test_attack_meeting_all_thresholds_is_detected(self):
+        # 40 packets over 65 seconds: count >= 25, duration >= 60, and the
+        # densest 60-second window holds >= 30 packets.
+        packets = [synack(ts=i * 65.0 / 39) for i in range(40)]
+        alerts = run_detector(packets)
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.victim == VICTIM
+        assert alert.packets == 40
+        assert alert.duration == pytest.approx(65.0)
+
+    def test_too_few_packets_not_detected(self):
+        packets = [synack(ts=i * 3.0) for i in range(MIN_PACKETS - 1)]
+        assert run_detector(packets) == []
+
+    def test_too_short_not_detected(self):
+        # 40 packets within 30 seconds: rate and count pass, duration fails.
+        packets = [synack(ts=i * 30.0 / 39) for i in range(40)]
+        assert run_detector(packets) == []
+
+    def test_too_slow_not_detected(self):
+        # 40 packets at one per 10 seconds: every 60-second window holds at
+        # most 7 packets, far below the 30-packet window threshold.
+        packets = [synack(ts=i * 10.0) for i in range(40)]
+        assert run_detector(packets) == []
+
+    def test_attack_flag_is_sticky(self):
+        # Once thresholds are met, a trickle keeps the attack alive and the
+        # final alert covers the whole span (the paper notes this quirk).
+        burst = [synack(ts=i * 61.0 / 39) for i in range(40)]
+        trickle = [synack(ts=100.0 + i * 200.0) for i in range(5)]
+        alerts = run_detector(burst + trickle)
+        assert len(alerts) == 1
+        assert alerts[0].packets == 45
+        assert alerts[0].end == pytest.approx(900.0)
+
+
+class TestFlowSemantics:
+    def test_timeout_splits_attacks(self):
+        first = [synack(ts=i * 61.0 / 39) for i in range(40)]
+        second = [synack(ts=1000.0 + i * 61.0 / 39) for i in range(40)]
+        alerts = run_detector(first + second)
+        # Gap of ~939 s > 300 s timeout: two separate attacks.
+        assert len(alerts) == 2
+
+    def test_distinct_victims_distinct_flows(self):
+        a = [synack(ts=i * 61.0 / 39, src="203.0.113.1") for i in range(40)]
+        b = [synack(ts=i * 61.0 / 39 + 0.01, src="203.0.113.2") for i in range(40)]
+        alerts = run_detector(sorted(a + b, key=lambda p: p.timestamp))
+        assert len(alerts) == 2
+        assert {alert.victim for alert in alerts} == {
+            parse_ip("203.0.113.1"),
+            parse_ip("203.0.113.2"),
+        }
+
+    def test_protocols_are_separate_flows(self):
+        rng = np.random.default_rng(1)
+        tcp = [synack(ts=i * 61.0 / 39) for i in range(40)]
+        icmp = icmp_backscatter_trace(rng, VICTIM, TELESCOPE, 0.7, 65.0)
+        alerts = run_detector(
+            sorted(tcp + icmp, key=lambda p: p.timestamp)
+        )
+        protocols = {alert.protocol for alert in alerts}
+        assert TCP in protocols
+
+    def test_scans_are_ignored(self):
+        rng = np.random.default_rng(2)
+        scans = scan_trace(rng, TELESCOPE, parse_ip("198.51.100.9"), 200, 120.0)
+        assert run_detector(scans) == []
+
+    def test_ports_aggregated_as_data(self):
+        packets = [synack(ts=i * 61.0 / 39, sport=80 + (i % 3)) for i in range(40)]
+        alerts = run_detector(packets)
+        assert len(alerts) == 1
+        assert alerts[0].ports == 3
+
+    def test_out_of_order_rejected(self):
+        detector = RsdosDetector()
+        detector.observe(synack(ts=10.0))
+        with pytest.raises(ValueError):
+            detector.observe(synack(ts=5.0))
+
+    def test_active_flows_counter(self):
+        detector = RsdosDetector()
+        detector.observe(synack(ts=0.0, src="203.0.113.1"))
+        detector.observe(synack(ts=0.0, src="203.0.113.2"))
+        assert detector.active_flows == 2
+        detector.flush()
+        assert detector.active_flows == 0
+
+
+class TestAgainstMacroRule:
+    """The packet detector and the telescope macro rule must agree."""
+
+    @pytest.mark.parametrize("rate_factor", [0.2, 0.5, 1.0, 3.0, 10.0])
+    def test_detection_probability_crosses_at_window_threshold(self, rate_factor):
+        # Telescope-local backscatter rate r: the window rule needs
+        # r * 60 >= 30, i.e. r >= 0.5 pps.  Run many trials per rate and
+        # check the detection frequency is near 0 well below the threshold
+        # and near 1 well above it.
+        rng = np.random.default_rng(42)
+        rate = 0.5 * rate_factor
+        detections = 0
+        trials = 30
+        for _ in range(trials):
+            # Generate at the telescope-local rate directly.
+            arrivals = np.sort(rng.random(rng.poisson(rate * 300.0))) * 300.0
+            packets = [synack(ts=float(t)) for t in arrivals]
+            if run_detector(packets):
+                detections += 1
+        frequency = detections / trials
+        if rate_factor <= 0.5:
+            assert frequency < 0.2
+        elif rate_factor >= 3.0:
+            assert frequency > 0.8
+
+
+class TestAlertRecord:
+    def test_alert_fields(self):
+        alert = RSDoSAlert(
+            victim=VICTIM,
+            protocol=TCP,
+            start=0.0,
+            end=65.0,
+            packets=40,
+            peak_window_packets=35,
+            ports=1,
+        )
+        assert alert.duration == 65.0
+        assert alert.peak_window_packets >= WINDOW_PACKETS
+        assert alert.packets >= MIN_PACKETS
+        assert alert.duration >= MIN_DURATION_S
+
+    def test_constants_match_paper(self):
+        assert MIN_PACKETS == 25
+        assert MIN_DURATION_S == 60.0
+        assert WINDOW_PACKETS == 30
+        assert TIMEOUT_S == 300.0
+
+
+class TestTraceHelpers:
+    def test_backscatter_trace_targets_telescope(self):
+        rng = np.random.default_rng(3)
+        packets = backscatter_trace(
+            rng, VICTIM, TELESCOPE, attack_pps=1e6, duration=60.0
+        )
+        assert packets, "high-rate attack must produce telescope packets"
+        for packet in packets[:50]:
+            assert TELESCOPE[0].contains(packet.dst_ip)
+            assert packet.src_ip == VICTIM
+            assert packet.is_backscatter_candidate
+
+    def test_merge_traces_sorted(self):
+        rng = np.random.default_rng(4)
+        a = backscatter_trace(rng, VICTIM, TELESCOPE, 5e5, 30.0)
+        b = scan_trace(rng, TELESCOPE, parse_ip("198.51.100.9"), 50, 30.0)
+        merged = list(merge_traces(a, b))
+        times = [packet.timestamp for packet in merged]
+        assert times == sorted(times)
+        assert len(merged) == len(a) + len(b)

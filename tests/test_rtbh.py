@@ -1,0 +1,145 @@
+"""Tests for RTBH signalling and blackhole-based attack inference."""
+
+import pytest
+
+from repro.net.addr import Prefix, parse_ip, parse_prefix
+from repro.observatories.rtbh import (
+    BlackholeAnnouncement,
+    RouteServer,
+    RtbhAttack,
+    infer_attacks,
+)
+
+MEMBERS = frozenset({64500, 64501, 64502})
+VICTIM = Prefix(parse_ip("203.0.113.7"), 32)
+
+
+def server():
+    return RouteServer(MEMBERS)
+
+
+class TestRouteServer:
+    def test_announce_withdraw_cycle(self):
+        rs = server()
+        rs.announce(64500, VICTIM, 100.0)
+        assert rs.active_count == 1
+        rs.withdraw(64500, VICTIM, 700.0)
+        history = rs.close()
+        assert len(history) == 1
+        assert history[0].start == 100.0
+        assert history[0].end == 700.0
+
+    def test_non_member_rejected(self):
+        rs = server()
+        with pytest.raises(PermissionError):
+            rs.announce(99999, VICTIM, 0.0)
+
+    def test_wide_prefix_rejected(self):
+        rs = server()
+        with pytest.raises(ValueError):
+            rs.announce(64500, parse_prefix("203.0.0.0/16"), 0.0)
+
+    def test_reannounce_is_refresh(self):
+        rs = server()
+        rs.announce(64500, VICTIM, 0.0)
+        rs.announce(64500, VICTIM, 100.0)  # refresh, keeps original start
+        rs.withdraw(64500, VICTIM, 200.0)
+        history = rs.close()
+        assert len(history) == 1
+        assert history[0].start == 0.0
+
+    def test_withdraw_unknown_rejected(self):
+        rs = server()
+        with pytest.raises(KeyError):
+            rs.withdraw(64500, VICTIM, 0.0)
+
+    def test_out_of_order_rejected(self):
+        rs = server()
+        rs.announce(64500, VICTIM, 100.0)
+        with pytest.raises(ValueError):
+            rs.announce(64501, VICTIM, 50.0)
+
+    def test_close_withdraws_active(self):
+        rs = server()
+        rs.announce(64500, VICTIM, 100.0)
+        history = rs.close(timestamp=500.0)
+        assert rs.active_count == 0
+        assert history[0].end == 500.0
+
+    def test_multiple_members_same_victim(self):
+        rs = server()
+        rs.announce(64500, VICTIM, 0.0)
+        rs.announce(64501, VICTIM, 10.0)
+        rs.withdraw(64500, VICTIM, 600.0)
+        rs.withdraw(64501, VICTIM, 650.0)
+        assert len(rs.close()) == 2
+
+
+def ann(start, end, member=64500, prefix=VICTIM):
+    return BlackholeAnnouncement(
+        prefix=prefix, member_asn=member, start=start, end=end
+    )
+
+
+class TestInference:
+    def test_single_window(self):
+        attacks = infer_attacks([ann(0.0, 600.0)])
+        assert len(attacks) == 1
+        attack = attacks[0]
+        assert isinstance(attack, RtbhAttack)
+        assert attack.duration == 600.0
+        assert attack.member_asns == (64500,)
+
+    def test_flap_merging(self):
+        # Withdraw/re-announce within the merge gap: one attack.
+        attacks = infer_attacks([ann(0.0, 300.0), ann(400.0, 900.0)])
+        assert len(attacks) == 1
+        assert attacks[0].announcements == 2
+        assert attacks[0].duration == 900.0
+
+    def test_distant_windows_split(self):
+        attacks = infer_attacks([ann(0.0, 300.0), ann(10_000.0, 10_400.0)])
+        assert len(attacks) == 2
+
+    def test_short_churn_discarded(self):
+        attacks = infer_attacks([ann(0.0, 10.0)])
+        assert attacks == []
+
+    def test_multi_member_single_attack(self):
+        attacks = infer_attacks(
+            [ann(0.0, 500.0, member=64500), ann(20.0, 550.0, member=64501)]
+        )
+        assert len(attacks) == 1
+        assert attacks[0].member_asns == (64500, 64501)
+
+    def test_distinct_victims_distinct_attacks(self):
+        other = Prefix(parse_ip("198.51.100.9"), 32)
+        attacks = infer_attacks(
+            [ann(0.0, 500.0), ann(0.0, 500.0, prefix=other)]
+        )
+        assert len(attacks) == 2
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError):
+            ann(100.0, 50.0)
+
+
+class TestEndToEnd:
+    def test_signalling_to_inference(self):
+        rs = server()
+        victims = [Prefix(parse_ip("203.0.113.7"), 32),
+                   Prefix(parse_ip("203.0.113.9"), 32)]
+        rs.announce(64500, victims[0], 0.0)
+        rs.announce(64501, victims[0], 30.0)  # second member, same victim
+        rs.announce(64502, victims[1], 100.0)
+        rs.withdraw(64502, victims[1], 400.0)
+        # A flap on victim 1:
+        rs.announce(64502, victims[1], 500.0)
+        rs.withdraw(64500, victims[0], 800.0)
+        rs.withdraw(64501, victims[0], 820.0)
+        rs.withdraw(64502, victims[1], 900.0)
+        attacks = infer_attacks(rs.close())
+        assert len(attacks) == 2
+        by_prefix = {attack.prefix: attack for attack in attacks}
+        assert by_prefix[victims[0]].member_asns == (64500, 64501)
+        assert by_prefix[victims[1]].announcements == 2

@@ -1,0 +1,125 @@
+"""Tests for the crowd-sourced SAV measurement model."""
+
+import pytest
+
+from repro.attacks.spoofer import (
+    SavGroundTruth,
+    ShareEstimate,
+    SpooferCampaign,
+    coverage,
+    estimate_shares,
+)
+from repro.attacks.spoofing import SavModel
+from repro.util.rng import RngFactory
+from tests.conftest import SMALL_CALENDAR
+
+SAV = SavModel(share_before=0.30, share_after=0.20, ramp_start_week=20, ramp_end_week=50)
+
+
+@pytest.fixture(scope="module")
+def ground_truth(request):
+    plan = request.getfixturevalue("plan")
+    return SavGroundTruth(plan, SAV, SMALL_CALENDAR, RngFactory(0))
+
+
+# `plan` is session-scoped in conftest; re-expose at module scope.
+@pytest.fixture(scope="module")
+def plan():
+    from repro.net.plan import PlanConfig, build_internet_plan
+
+    return build_internet_plan(PlanConfig(seed=7, tail_as_count=300))
+
+
+class TestGroundTruth:
+    def test_initial_share_matches_model(self, plan, ground_truth):
+        asns = [info.asn for info in plan.ases]
+        share = ground_truth.true_share(0, asns)
+        assert share == pytest.approx(SAV.share_before, abs=0.05)
+
+    def test_final_share_matches_model(self, plan, ground_truth):
+        asns = [info.asn for info in plan.ases]
+        share = ground_truth.true_share(60, asns)
+        assert share == pytest.approx(SAV.share_after, abs=0.05)
+
+    def test_share_declines_monotonically(self, plan, ground_truth):
+        asns = [info.asn for info in plan.ases]
+        shares = [ground_truth.true_share(week, asns) for week in range(0, 60, 5)]
+        assert all(a >= b for a, b in zip(shares, shares[1:]))
+
+    def test_no_regression_per_as(self, plan, ground_truth):
+        for info in list(plan.ases)[:100]:
+            before = ground_truth.can_spoof(info.asn, 0)
+            after = ground_truth.can_spoof(info.asn, 60)
+            # A non-spoofable AS never becomes spoofable later.
+            if not before:
+                assert not after
+
+    def test_unknown_asn_cannot_spoof(self, ground_truth):
+        assert not ground_truth.can_spoof(987_654_321, 10)
+
+
+class TestCampaign:
+    def test_unbiased_campaign_tracks_truth(self, plan, ground_truth):
+        campaign = SpooferCampaign(
+            plan, ground_truth, RngFactory(1), tests_per_week=60
+        )
+        tests = campaign.run()
+        estimates = estimate_shares(tests, SMALL_CALENDAR.n_weeks)
+        asns = [info.asn for info in plan.ases]
+        # Late-window estimate near the true late share.
+        true_late = ground_truth.true_share(60, asns)
+        late = estimates[-1]
+        low, high = late.wilson_interval()
+        assert low <= true_late + 0.06
+        assert high >= true_late - 0.06
+
+    def test_volunteer_bias_skews_estimate(self, plan, ground_truth):
+        # Education/cloud networks remediate early, so a volunteer-heavy
+        # sample *underestimates* the spoofable share late in the window.
+        unbiased = SpooferCampaign(
+            plan, ground_truth, RngFactory(2), tests_per_week=80
+        ).run()
+        biased = SpooferCampaign(
+            plan,
+            ground_truth,
+            RngFactory(2),
+            tests_per_week=80,
+            volunteer_bias=0.8,
+        ).run()
+        n = SMALL_CALENDAR.n_weeks
+        unbiased_late = estimate_shares(unbiased, n)[-1].share
+        biased_late = estimate_shares(biased, n)[-1].share
+        assert biased_late < unbiased_late
+
+    def test_coverage_is_limited(self, plan, ground_truth):
+        campaign = SpooferCampaign(
+            plan, ground_truth, RngFactory(3), tests_per_week=5
+        )
+        tests = campaign.run()
+        total = len(plan.ases)
+        measured = coverage(tests, total)
+        # 5 tests/week over ~69 weeks cannot cover 300+ ASes.
+        assert measured < 0.9
+        assert measured > 0.0
+
+    def test_invalid_bias_rejected(self, plan, ground_truth):
+        with pytest.raises(ValueError):
+            SpooferCampaign(plan, ground_truth, RngFactory(4), volunteer_bias=1.0)
+
+
+class TestShareEstimate:
+    def test_wilson_interval_contains_point(self):
+        estimate = ShareEstimate(week=0, tests=100, positive=30)
+        low, high = estimate.wilson_interval()
+        assert low < estimate.share < high
+        assert 0.2 < low < 0.3
+        assert 0.3 < high < 0.42
+
+    def test_empty_window(self):
+        estimate = ShareEstimate(week=0, tests=0, positive=0)
+        assert estimate.share == 0.0
+        assert estimate.wilson_interval() == (0.0, 1.0)
+
+    def test_coverage_empty(self):
+        assert coverage([], 10) == 0.0
+        assert coverage([], 0) == 0.0

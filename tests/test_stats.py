@@ -1,0 +1,124 @@
+"""Tests for the correlation statistics (cross-checked against scipy)."""
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.stats import Correlation, ols_line, pearson, rankdata, spearman
+
+series = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=5, max_value=60),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+class TestRankdata:
+    def test_simple_ranks(self):
+        assert rankdata(np.asarray([30.0, 10.0, 20.0])).tolist() == [3.0, 1.0, 2.0]
+
+    def test_ties_get_average_rank(self):
+        assert rankdata(np.asarray([1.0, 2.0, 2.0, 3.0])).tolist() == [
+            1.0,
+            2.5,
+            2.5,
+            4.0,
+        ]
+
+    @given(series)
+    def test_matches_scipy(self, values):
+        ours = rankdata(values)
+        theirs = scipy.stats.rankdata(values)
+        assert np.allclose(ours, theirs)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = np.arange(10, dtype=float)
+        result = pearson(x, 2 * x + 1)
+        assert result.coefficient == pytest.approx(1.0)
+        assert result.p_value == pytest.approx(0.0, abs=1e-12)
+
+    def test_perfect_anticorrelation(self):
+        x = np.arange(10, dtype=float)
+        assert pearson(x, -x).coefficient == pytest.approx(-1.0)
+
+    def test_constant_series_insignificant(self):
+        x = np.ones(10)
+        y = np.arange(10, dtype=float)
+        result = pearson(x, y)
+        assert result.coefficient == 0.0
+        assert result.p_value == 1.0
+        assert not result.significant
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            pearson(np.ones(1), np.ones(1))
+
+    @given(series.filter(lambda v: np.ptp(v) > 1e-6))
+    @settings(max_examples=50)
+    def test_matches_scipy(self, x):
+        rng = np.random.default_rng(0)
+        y = x * 0.5 + rng.normal(size=len(x))
+        if np.ptp(y) == 0:
+            return
+        ours = pearson(x, y)
+        r, p = scipy.stats.pearsonr(x, y)
+        assert ours.coefficient == pytest.approx(r, abs=1e-9)
+        assert ours.p_value == pytest.approx(p, abs=1e-6)
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_perfect(self):
+        x = np.arange(1, 11, dtype=float)
+        assert spearman(x, x**3).coefficient == pytest.approx(1.0)
+
+    def test_outlier_insensitivity_vs_pearson(self):
+        # The paper chose Spearman for this property.
+        x = np.arange(20, dtype=float)
+        y = x.copy()
+        y[-1] = 1e6
+        assert spearman(x, y).coefficient > pearson(x, y).coefficient - 0.01
+        assert spearman(x, y).coefficient == pytest.approx(1.0)
+
+    @given(series.filter(lambda v: np.ptp(v) > 1e-6))
+    @settings(max_examples=50)
+    def test_matches_scipy(self, x):
+        rng = np.random.default_rng(1)
+        y = np.roll(x, 3) + rng.normal(size=len(x))
+        if np.ptp(y) == 0:
+            return
+        ours = spearman(x, y)
+        rho, p = scipy.stats.spearmanr(x, y)
+        assert ours.coefficient == pytest.approx(rho, abs=1e-9)
+        assert ours.p_value == pytest.approx(p, abs=1e-6)
+
+
+class TestCorrelationRecord:
+    def test_significance_threshold(self):
+        assert Correlation(0.5, 0.04, 50).significant
+        assert not Correlation(0.5, 0.06, 50).significant
+
+
+class TestOlsLine:
+    def test_exact_fit(self):
+        values = 3.0 + 0.5 * np.arange(20)
+        slope, intercept = ols_line(values)
+        assert slope == pytest.approx(0.5)
+        assert intercept == pytest.approx(3.0)
+
+    def test_start_offset_keeps_index_units(self):
+        values = 3.0 + 0.5 * np.arange(20)
+        slope, intercept = ols_line(values, start=10)
+        assert slope == pytest.approx(0.5)
+        # Fit is in global index coordinates.
+        assert intercept == pytest.approx(3.0)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            ols_line(np.asarray([1.0]))

@@ -1,0 +1,113 @@
+"""Tests for feed validation."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.events import AttackClass
+from repro.attacks.vectors import VECTORS, vector_id
+from repro.core.validate import validate_observations, validate_study_feeds
+from repro.observatories.base import Observations
+from tests.conftest import SMALL_CALENDAR
+
+
+def feed(days, vectors=None, classes=None, bps=None, spoofed=None, name="X"):
+    n = len(days)
+    observations = Observations(name)
+    observations.append(
+        0,  # unused; we append per batch below instead
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int8),
+        np.empty(0, dtype=np.int16),
+        np.empty(0, dtype=bool),
+        np.empty(0, dtype=np.float64),
+    )
+    for i, day in enumerate(days):
+        observations.append(
+            day,
+            np.asarray([1000 + i], dtype=np.int64),
+            np.asarray(
+                [classes[i] if classes else int(AttackClass.DIRECT_PATH)],
+                dtype=np.int8,
+            ),
+            np.asarray(
+                [vectors[i] if vectors else vector_id("SYN-flood")],
+                dtype=np.int16,
+            ),
+            np.asarray([spoofed[i] if spoofed else True]),
+            np.asarray([bps[i] if bps else 1e8]),
+        )
+    return observations
+
+
+class TestValidation:
+    def test_clean_feed_ok(self):
+        report = validate_observations(feed([0, 1, 2]), SMALL_CALENDAR)
+        assert report.ok
+        assert report.records == 3
+
+    def test_empty_feed_warns(self):
+        report = validate_observations(Observations("empty"), SMALL_CALENDAR)
+        assert report.ok
+        assert "empty" in report.warnings[0]
+
+    def test_out_of_window_days(self):
+        report = validate_observations(
+            feed([0, SMALL_CALENDAR.n_days + 5]), SMALL_CALENDAR
+        )
+        assert not report.ok
+        assert any("window" in error for error in report.errors)
+
+    def test_unknown_vector_ids(self):
+        report = validate_observations(
+            feed([0], vectors=[len(VECTORS) + 3]), SMALL_CALENDAR
+        )
+        assert not report.ok
+
+    def test_class_vector_mismatch(self):
+        # DNS (reflection vector) recorded as direct-path: error.
+        report = validate_observations(
+            feed([0], vectors=[vector_id("DNS")]), SMALL_CALENDAR
+        )
+        assert not report.ok
+        assert any("mismatch" in error for error in report.errors)
+
+    def test_non_finite_sizes(self):
+        report = validate_observations(
+            feed([0], bps=[float("nan")]), SMALL_CALENDAR
+        )
+        assert not report.ok
+
+    def test_unexpected_class_warns(self):
+        report = validate_observations(
+            feed([0]),
+            SMALL_CALENDAR,
+            expected_classes=(AttackClass.REFLECTION_AMPLIFICATION,),
+        )
+        assert report.ok  # warning, not error
+        assert any("remit" in warning for warning in report.warnings)
+
+    def test_duplicate_heavy_feed_warns(self):
+        observations = Observations("dupes")
+        for _ in range(4):
+            observations.append(
+                0,
+                np.asarray([1234], dtype=np.int64),
+                np.asarray([int(AttackClass.DIRECT_PATH)], dtype=np.int8),
+                np.asarray([vector_id("SYN-flood")], dtype=np.int16),
+                np.asarray([True]),
+                np.asarray([1e8]),
+            )
+        report = validate_observations(observations, SMALL_CALENDAR)
+        assert any("duplicate" in warning for warning in report.warnings)
+
+    def test_summary_rendering(self):
+        report = validate_observations(feed([0]), SMALL_CALENDAR)
+        assert "OK" in report.summary()
+
+
+class TestStudySelfCheck:
+    def test_simulated_feeds_validate(self, small_study):
+        reports = validate_study_feeds(small_study)
+        assert len(reports) == 8
+        for name, report in reports.items():
+            assert report.ok, report.summary()

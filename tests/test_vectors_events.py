@@ -1,0 +1,186 @@
+"""Tests for the vector catalogue and attack-event model."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.events import (
+    HP_BIT,
+    OBSERVATORY_KEYS,
+    AttackClass,
+    AttackEvent,
+    DayBatch,
+)
+from repro.attacks.vectors import (
+    DP_VECTORS,
+    EMERGING_RA_VECTORS,
+    RA_VECTORS,
+    VECTORS,
+    VectorKind,
+    vector_by_name,
+    vector_id,
+    vector_ids,
+)
+
+
+class TestVectorCatalogue:
+    def test_catalogue_layout(self):
+        assert VECTORS[: len(RA_VECTORS)] == RA_VECTORS
+        assert (
+            VECTORS[len(RA_VECTORS) : len(RA_VECTORS) + len(DP_VECTORS)]
+            == DP_VECTORS
+        )
+        assert VECTORS[len(RA_VECTORS) + len(DP_VECTORS) :] == EMERGING_RA_VECTORS
+
+    def test_lookup_by_name(self):
+        dns = vector_by_name("DNS")
+        assert dns.kind is VectorKind.REFLECTION
+        assert dns.port == 53
+        assert VECTORS[vector_id("DNS")] is dns
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            vector_by_name("NOPE")
+
+    def test_vector_ids_partition_catalogue(self):
+        ra = vector_ids(VectorKind.REFLECTION)
+        dp = vector_ids(VectorKind.DIRECT)
+        assert sorted(ra + dp) == list(range(len(VECTORS)))
+
+    def test_reflection_vectors_amplify(self):
+        for vector in RA_VECTORS:
+            assert vector.amplification > 1.0
+        for vector in DP_VECTORS:
+            assert vector.amplification == 1.0
+
+    def test_known_amplification_factors(self):
+        # Canonical values from Rossow (NDSS 2014).
+        assert vector_by_name("NTP").amplification == pytest.approx(556.0)
+        assert vector_by_name("DNS").amplification == pytest.approx(54.0)
+        assert vector_by_name("Memcached").amplification >= 10_000
+
+    def test_active_weights_positive(self):
+        assert all(vector.weight > 0 for vector in RA_VECTORS + DP_VECTORS)
+
+    def test_emerging_vectors_inactive_but_resolvable(self):
+        # Weight 0 keeps them out of the default 2019-2023 mix without
+        # perturbing the seeded draws of the active catalogue.
+        assert all(vector.weight == 0 for vector in EMERGING_RA_VECTORS)
+        tp240 = vector_by_name("TP240")
+        assert tp240.amplification > 1000
+        assert vector_by_name("SLP").port == 427
+
+
+def _batch(n=3, day=5):
+    bias = {key: np.ones(n) for key in OBSERVATORY_KEYS}
+    return DayBatch(
+        day,
+        attack_class=np.asarray([0, 1, 1], dtype=np.int8)[:n],
+        target=np.arange(n, dtype=np.int64) + 100,
+        origin_asn=np.full(n, 64500, dtype=np.int64),
+        start=np.full(n, day * 86400.0) + np.arange(n),
+        duration=np.full(n, 120.0),
+        pps=np.full(n, 1000.0),
+        bps=np.full(n, 1e6),
+        vector_id=np.asarray([10, 0, 1], dtype=np.int16)[:n],
+        secondary_vector_id=np.full(n, -1, dtype=np.int16),
+        carpet=np.zeros(n, dtype=bool),
+        carpet_prefix_len=np.zeros(n, dtype=np.int8),
+        spoofed=np.asarray([True, True, True])[:n],
+        hp_selected=np.asarray([0, 1, 2], dtype=np.uint8)[:n],
+        bias=bias,
+    )
+
+
+class TestDayBatch:
+    def test_masks(self):
+        batch = _batch()
+        assert batch.is_direct_path.tolist() == [True, False, False]
+        assert batch.is_reflection.tolist() == [False, True, True]
+        assert batch.is_rsdos.tolist() == [True, False, False]
+
+    def test_hp_selected_mask(self):
+        batch = _batch()
+        assert batch.hp_selected_mask("hopscotch").tolist() == [False, True, False]
+        assert batch.hp_selected_mask("amppot").tolist() == [False, False, True]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DayBatch(
+                0,
+                attack_class=np.zeros(2, dtype=np.int8),
+                target=np.zeros(3, dtype=np.int64),
+                origin_asn=np.zeros(3, dtype=np.int64),
+                start=np.zeros(3),
+                duration=np.zeros(3),
+                pps=np.zeros(3),
+                bps=np.zeros(3),
+                vector_id=np.zeros(3, dtype=np.int16),
+                secondary_vector_id=np.zeros(3, dtype=np.int16),
+                carpet=np.zeros(3, dtype=bool),
+                carpet_prefix_len=np.zeros(3, dtype=np.int8),
+                spoofed=np.zeros(3, dtype=bool),
+                hp_selected=np.zeros(3, dtype=np.uint8),
+                bias={key: np.ones(3) for key in OBSERVATORY_KEYS},
+            )
+
+    def test_missing_bias_rejected(self):
+        with pytest.raises(ValueError):
+            _batch_with_partial_bias()
+
+    def test_event_materialisation(self):
+        batch = _batch()
+        event = batch.event(1)
+        assert isinstance(event, AttackEvent)
+        assert event.attack_class is AttackClass.REFLECTION_AMPLIFICATION
+        assert event.target == 101
+        assert event.hp_is_selected("hopscotch")
+        assert not event.hp_is_selected("amppot")
+        assert event.day == 5
+
+    def test_events_iteration(self):
+        batch = _batch()
+        events = list(batch.events())
+        assert len(events) == len(batch) == 3
+        assert [e.event_id for e in events] == [0, 1, 2]
+
+
+def _batch_with_partial_bias():
+    n = 1
+    bias = {key: np.ones(n) for key in OBSERVATORY_KEYS if key != "ucsd"}
+    return DayBatch(
+        0,
+        attack_class=np.zeros(n, dtype=np.int8),
+        target=np.zeros(n, dtype=np.int64),
+        origin_asn=np.zeros(n, dtype=np.int64),
+        start=np.zeros(n),
+        duration=np.zeros(n),
+        pps=np.zeros(n),
+        bps=np.zeros(n),
+        vector_id=np.zeros(n, dtype=np.int16),
+        secondary_vector_id=np.zeros(n, dtype=np.int16),
+        carpet=np.zeros(n, dtype=bool),
+        carpet_prefix_len=np.zeros(n, dtype=np.int8),
+        spoofed=np.zeros(n, dtype=bool),
+        hp_selected=np.zeros(n, dtype=np.uint8),
+        bias=bias,
+    )
+
+
+class TestAttackEvent:
+    def test_vectors_property(self):
+        batch = _batch()
+        event = batch.event(0)
+        assert len(event.vectors) == 1
+        assert event.vector.name == VECTORS[10].name
+
+    def test_end_and_day(self):
+        event = _batch().event(0)
+        assert event.end == event.start + event.duration
+        assert event.day == int(event.start // 86400)
+
+    def test_hp_bit_layout(self):
+        assert HP_BIT == {"hopscotch": 0, "amppot": 1, "newkid": 2}
+
+    def test_attack_class_labels(self):
+        assert AttackClass.DIRECT_PATH.label == "DP"
+        assert AttackClass.REFLECTION_AMPLIFICATION.label == "RA"
