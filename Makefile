@@ -1,6 +1,6 @@
 # Convenience targets for the DDoScovery reproduction.
 
-.PHONY: install test bench examples artefacts clean
+.PHONY: install test bench bench-perf examples artefacts clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-perf:
+	pytest benchmarks/test_perf_pipeline.py benchmarks/test_perf_parallel.py --benchmark-only
 
 examples:
 	python examples/quickstart.py

@@ -22,6 +22,14 @@ Important mechanics and their grounding in the paper:
 * **Telescope avoidance** — a small share of attackers exclude known
   telescope ranges from spoofed-source rotation (reason *(iii)* in
   Section 6.1); their events carry zero telescope visibility bias.
+
+Randomness is organised for **sharded execution**: every study day draws
+from its own named RNG stream (``attacks/generator/day/<n>``) and the
+weekly supply noise from a dedicated stream, so a generator confined to a
+``day_range`` produces exactly the same per-day draws as a full run.  The
+only cross-day state is the recent-victim recurrence pool, which starts
+empty at the beginning of each generator's range — the property the
+process-parallel executor in :mod:`repro.util.parallel` relies on.
 """
 
 from __future__ import annotations
@@ -47,6 +55,10 @@ from repro.util.rng import RngFactory
 
 #: Honeypot platforms with reflector-selection base probabilities.
 HP_BASE_SELECTION = {"hopscotch": 0.70, "amppot": 0.66, "newkid": 0.004}
+
+#: Event-id block reserved per study day for day-range shards (far above
+#: any realistic per-day event count).
+EVENT_ID_BLOCK = 1_000_000
 
 #: Per-platform, per-vector selection affinity (default 1.0).  Encodes the
 #: paper's protocol-composition differences between the honeypots.
@@ -144,7 +156,15 @@ class _ClassSampler:
 
 
 class GroundTruthGenerator:
-    """Streams :class:`DayBatch` objects for the whole study window."""
+    """Streams :class:`DayBatch` objects for the whole study window.
+
+    ``day_range`` restricts the generator to a contiguous ``[start, stop)``
+    slice of study days — the shard unit of the parallel executor.  Each
+    day's events are drawn from a day-keyed RNG stream, so the per-day
+    output is identical however the window is partitioned; only the
+    recent-victim recurrence pool (which starts empty per generator)
+    couples consecutive days within one range.
+    """
 
     def __init__(
         self,
@@ -154,14 +174,24 @@ class GroundTruthGenerator:
         campaigns: CampaignModel,
         config: GeneratorConfig | None = None,
         rng_factory: RngFactory | None = None,
+        day_range: tuple[int, int] | None = None,
     ) -> None:
         self.plan = plan
         self.calendar = calendar
         self.landscape = landscape
         self.campaigns = campaigns
         self.config = config or GeneratorConfig()
-        factory = rng_factory or RngFactory(0)
-        self._rng = factory.stream("attacks/generator")
+        if day_range is None:
+            day_range = (0, calendar.n_days)
+        start, stop = day_range
+        if not 0 <= start < stop <= calendar.n_days:
+            raise ValueError(
+                f"day_range {day_range} outside study window "
+                f"(0..{calendar.n_days})"
+            )
+        self.day_range = (int(start), int(stop))
+        self._factory = rng_factory or RngFactory(0)
+        self._rng = self._factory.stream("attacks/generator")
         self._pool = _VictimPool(self.config.victim_pool_size)
         self._samplers = {
             AttackClass.DIRECT_PATH: _ClassSampler.for_kind(VectorKind.DIRECT),
@@ -175,12 +205,19 @@ class GroundTruthGenerator:
         self._hosting_asns = {
             info.asn for info in plan.ases if info.kind is ASKind.HOSTING
         }
+        self._hp_probability_lut = self._build_hp_probability_lut()
         self._weekly_noise = self._draw_weekly_noise()
-        self._next_event_id = 0
+        # Full runs number events contiguously from zero; day-range shards
+        # offset by a per-day block so ids never collide across shards.
+        self._next_event_id = self.day_range[0] * EVENT_ID_BLOCK
 
     def _draw_weekly_noise(self) -> dict[AttackClass, np.ndarray]:
-        """Weekly lognormal supply noise, one factor per class per week."""
-        noise_rng = self._rng
+        """Weekly lognormal supply noise, one factor per class per week.
+
+        Drawn from a dedicated stream so every day-range shard sees the
+        same factors as a full run.
+        """
+        noise_rng = self._factory.stream("attacks/generator/weekly-noise")
         sigma = self.config.weekly_noise_sigma
         return {
             attack_class: noise_rng.lognormal(
@@ -189,21 +226,36 @@ class GroundTruthGenerator:
             for attack_class in AttackClass
         }
 
+    @staticmethod
+    def _build_hp_probability_lut() -> dict[str, np.ndarray]:
+        """Per-platform base selection probability indexed by vector id."""
+        return {
+            platform: np.asarray(
+                [
+                    HP_BASE_SELECTION[platform]
+                    * HP_VECTOR_AFFINITY.get(platform, {}).get(vector.name, 1.0)
+                    for vector in VECTORS
+                ],
+                dtype=np.float64,
+            )
+            for platform in HP_BIT
+        }
+
     # -- per-day synthesis ------------------------------------------------------
 
     def batches(self) -> Iterator[DayBatch]:
-        """Yield one batch per study day, in order."""
-        for day in range(self.calendar.n_days):
+        """Yield one batch per day of the generator's range, in order."""
+        for day in range(*self.day_range):
             yield self.batch_for_day(day)
 
     def batch_for_day(self, day: int) -> DayBatch:
         """Synthesise the batch for one day.
 
-        Note: day batches consume the generator's random stream
-        sequentially; calling out of order changes the draw.  Use
-        :meth:`batches` for reproducible full runs.
+        Every day draws from its own RNG stream, so per-day output does
+        not depend on which other days were generated first; only the
+        victim recurrence pool carries state between consecutive days.
         """
-        rng = self._rng
+        rng = self._rng = self._factory.stream(f"attacks/generator/day/{day}")
         week = self.calendar.week_of_day(day)
         active = self.campaigns.active(day)
 
@@ -373,24 +425,17 @@ class GroundTruthGenerator:
         if attack_class is not AttackClass.REFLECTION_AMPLIFICATION:
             return mask
         rng = self._rng
-        vector_names = [VECTORS[v].name for v in vector]
         # Reflector-list breadth, shared across platforms per event: broad
         # lists hit every honeypot, narrow lists miss them all.  This
         # correlation produces the >50% pairwise target overlap between
         # Hopscotch and AmpPot the paper reports (Section 7.1).
         breadth = rng.lognormal(mean=-0.32, sigma=0.8, size=count)
         for platform, bit in HP_BIT.items():
-            base = HP_BASE_SELECTION[platform]
             campaign_bias = campaign.bias[platform] if campaign is not None else 1.0
-            affinity_table = HP_VECTOR_AFFINITY.get(platform, {})
             probabilities = np.minimum(
                 1.0,
-                np.asarray(
-                    [
-                        base * affinity_table.get(name, 1.0) * campaign_bias
-                        for name in vector_names
-                    ]
-                )
+                self._hp_probability_lut[platform][vector]
+                * campaign_bias
                 * breadth,
             )
             selected = rng.random(count) < probabilities

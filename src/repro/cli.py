@@ -10,13 +10,18 @@ Subcommands:
     Print ground-truth landscape statistics (no observatories).
 ``ddoscovery sensitivity``
     Print telescope detection floors for a given prefix length.
+``ddoscovery cache``
+    Inspect or clear the on-disk simulation cache.
 
 Examples::
 
     ddoscovery run --weeks 80 --artefact F7 F5
-    ddoscovery run --seed 3 --out results/
+    ddoscovery run --seed 3 --out results/ --jobs 4
+    ddoscovery run --no-cache --artefact T1
     ddoscovery survey
     ddoscovery sensitivity --prefix-length 20
+    ddoscovery cache info
+    ddoscovery cache clear
 """
 
 from __future__ import annotations
@@ -65,6 +70,30 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--ra-per-day", type=float, default=70.0, help="reflection base rate"
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="simulation worker processes (0 = one per CPU; default 1)",
+    )
+    run.add_argument(
+        "--shard-days",
+        type=int,
+        default=None,
+        help="days per simulation shard (default 28; output is identical "
+        "for any --jobs at a fixed shard size)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk simulation cache (read and write)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
 
     commands.add_parser("survey", help="industry-report survey (Section 3)")
 
@@ -81,6 +110,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--prefix-length", type=int, default=13, help="telescope prefix length"
     )
 
+    cache = commands.add_parser(
+        "cache", help="inspect or clear the on-disk simulation cache"
+    )
+    cache.add_argument(
+        "action",
+        choices=("info", "clear"),
+        help="'info' lists cache entries, 'clear' deletes them",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
     return parser
 
 
@@ -94,13 +138,21 @@ def _calendar_for(weeks: int | None) -> StudyCalendar:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    if args.shard_days is not None and args.shard_days <= 0:
+        raise SystemExit("--shard-days must be positive")
     config = StudyConfig(
         seed=args.seed,
         calendar=_calendar_for(args.weeks),
         dp_per_day=args.dp_per_day,
         ra_per_day=args.ra_per_day,
     )
-    study = Study(config)
+    study = Study(
+        config,
+        jobs=args.jobs,
+        shard_days=args.shard_days,
+        cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir,
+    )
     print(
         f"simulating {study.calendar.start} .. {study.calendar.end} "
         f"(seed {config.seed}) ...",
@@ -206,11 +258,30 @@ def _command_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cache(args: argparse.Namespace) -> int:
+    from repro.core.cache import StudyCache
+
+    cache = StudyCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.root}")
+        return 0
+    entries = cache.entries()
+    print(f"cache root: {cache.root}")
+    print(f"entries   : {len(entries)}")
+    print(f"total size: {cache.total_bytes() / 1e6:.1f} MB")
+    for path in entries:
+        print(f"  {path.name}  ({path.stat().st_size / 1e6:.1f} MB)")
+    return 0
+
+
 _COMMANDS = {
     "run": _command_run,
     "survey": _command_survey,
     "landscape": _command_landscape,
     "sensitivity": _command_sensitivity,
+    "cache": _command_cache,
 }
 
 

@@ -1,0 +1,225 @@
+"""Content-addressed on-disk cache for simulated study results.
+
+Re-simulating the 4.5-year landscape costs seconds per process; every CLI
+invocation, figure script, and notebook cell used to pay it again.  This
+module persists the merged simulation output — per-observatory
+:class:`~repro.observatories.base.Observations` plus the weekly
+ground-truth arrays — keyed by a fingerprint of everything that determines
+it, so a second run with the same :class:`~repro.core.study.StudyConfig`
+loads in milliseconds and *any* config change (seed, calendar, generator
+parameters, ...) misses automatically.
+
+Layout: one ``study-<fingerprint>.npz`` per config under the cache root.
+The root resolves, in order, to ``$REPRO_CACHE_DIR``,
+``$XDG_CACHE_HOME/repro``, or ``~/.cache/repro``.  Writes are atomic
+(temp file + rename) and loads treat any unreadable or mismatched file as
+a miss, falling back to re-simulation — a corrupted cache can cost time,
+never correctness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as _dt
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.attacks.events import AttackClass
+from repro.core.io import pack_observations, unpack_observations
+from repro.observatories.base import Observations
+from repro.util.calendar import StudyCalendar
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling the cache entirely (any non-empty value).
+CACHE_DISABLE_ENV = "REPRO_NO_CACHE"
+
+#: Bumped whenever the stored layout or simulation semantics change, so
+#: stale files from older versions miss instead of deserialising garbage.
+CACHE_SCHEMA_VERSION = 1
+
+_META_KEY = "__meta__"
+_TRUTH_PREFIX = "truth::"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` > ``$XDG_CACHE_HOME/repro`` >
+    ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def cache_enabled() -> bool:
+    """Whether caching is enabled for this process (env kill-switch)."""
+    return not os.environ.get(CACHE_DISABLE_ENV)
+
+
+# -- config fingerprinting -----------------------------------------------------
+
+
+def _canonical(value: Any) -> Any:
+    """A JSON-serialisable canonical form of a config value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, _dt.date):
+        return value.isoformat()
+    if isinstance(value, StudyCalendar):
+        return {
+            "__type__": "StudyCalendar",
+            "start": value.start.isoformat(),
+            "end": value.end.isoformat(),
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__type__": type(value).__name__,
+            **{
+                field.name: _canonical(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_canonical(item) for item in value)
+    if isinstance(value, dict):
+        return {str(key): _canonical(value[key]) for key in sorted(value)}
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    # Last resort: repr keeps unknown types *distinguishable* so differing
+    # configs never silently collide on one cache entry.
+    return {"__repr__": repr(value)}
+
+
+def config_fingerprint(config: Any) -> str:
+    """Stable hex digest of everything that determines simulation output."""
+    payload = json.dumps(
+        {"schema": CACHE_SCHEMA_VERSION, "config": _canonical(config)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# -- the cache -----------------------------------------------------------------
+
+
+class StudyCache:
+    """One directory of content-addressed simulation results."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, fingerprint: str) -> Path:
+        """The cache file for a config fingerprint."""
+        return self.root / f"study-{fingerprint}.npz"
+
+    # -- store / load -----------------------------------------------------------
+
+    def store(
+        self,
+        fingerprint: str,
+        sinks: dict[str, Observations],
+        ground_truth: dict[AttackClass, np.ndarray],
+    ) -> Path | None:
+        """Persist one simulation result atomically.
+
+        Returns the written path, or ``None`` when the cache directory is
+        unusable (caching is best-effort; the simulation result is already
+        in memory).
+        """
+        items = pack_observations(sinks)
+        for attack_class, weekly in ground_truth.items():
+            items[f"{_TRUTH_PREFIX}{int(attack_class)}"] = np.asarray(
+                weekly, dtype=np.float64
+            )
+        items[_META_KEY] = np.array(
+            json.dumps(
+                {
+                    "schema": CACHE_SCHEMA_VERSION,
+                    "fingerprint": fingerprint,
+                    "observatories": sorted(sinks),
+                }
+            )
+        )
+        path = self.path_for(fingerprint)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=path.stem, suffix=".tmp", dir=self.root
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    np.savez(handle, **items)
+                os.replace(tmp_name, path)
+            except BaseException:
+                os.unlink(tmp_name)
+                raise
+        except OSError:
+            return None
+        return path
+
+    def load(
+        self, fingerprint: str
+    ) -> tuple[dict[str, Observations], dict[AttackClass, np.ndarray]] | None:
+        """Load one simulation result, or ``None`` on miss.
+
+        Any failure — missing file, truncated archive, schema or
+        fingerprint mismatch, bad column shapes — is a miss.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                meta = json.loads(str(data[_META_KEY]))
+                if meta.get("schema") != CACHE_SCHEMA_VERSION:
+                    return None
+                if meta.get("fingerprint") != fingerprint:
+                    return None
+                sinks = unpack_observations(data)
+                if sorted(sinks) != meta.get("observatories"):
+                    return None
+                ground_truth = {
+                    attack_class: np.asarray(
+                        data[f"{_TRUTH_PREFIX}{int(attack_class)}"],
+                        dtype=np.float64,
+                    )
+                    for attack_class in AttackClass
+                }
+        except Exception:  # noqa: BLE001 - any unreadable entry is a miss
+            return None
+        return sinks, ground_truth
+
+    # -- maintenance ------------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        """All cache files under the root (sorted for stable listings)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("study-*.npz"))
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def total_bytes(self) -> int:
+        """Total size of all cache entries."""
+        return sum(path.stat().st_size for path in self.entries())

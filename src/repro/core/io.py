@@ -13,6 +13,9 @@ Formats:
   ``duration`` (seconds) may be empty for feeds that do not report it.
 * **weekly CSV** — ``week,label1,label2,...`` wide format for count
   series.
+* **columnar npz items** — flat ``{key: array}`` mappings packing many
+  observatories' records for binary storage (the on-disk study cache in
+  :mod:`repro.core.cache`).
 """
 
 from __future__ import annotations
@@ -26,10 +29,53 @@ import numpy as np
 from repro.attacks.events import AttackClass
 from repro.attacks.vectors import VECTORS, vector_id
 from repro.net.addr import format_ip, parse_ip
-from repro.observatories.base import Observations
+from repro.observatories.base import OBSERVATION_COLUMNS, Observations
 from repro.util.calendar import StudyCalendar
 
 _RECORD_FIELDS = ("day", "target", "attack_class", "vector", "spoofed", "bps", "duration")
+
+#: Separator in flat npz item keys: ``obs::<observatory>::<column>``.
+_NPZ_SEP = "::"
+_NPZ_PREFIX = "obs"
+
+
+def pack_observations(
+    sinks: dict[str, Observations]
+) -> dict[str, np.ndarray]:
+    """Flatten per-observatory records into one ``{key: array}`` mapping.
+
+    Keys are ``obs::<observatory>::<column>``, ready for ``np.savez``.
+    """
+    items: dict[str, np.ndarray] = {}
+    for name, observations in sinks.items():
+        if _NPZ_SEP in name:
+            raise ValueError(f"observatory name may not contain {_NPZ_SEP!r}: {name!r}")
+        for column, _ in OBSERVATION_COLUMNS:
+            items[f"{_NPZ_PREFIX}{_NPZ_SEP}{name}{_NPZ_SEP}{column}"] = getattr(
+                observations, column
+            )
+    return items
+
+
+def unpack_observations(
+    items: "dict[str, np.ndarray] | object",
+) -> dict[str, Observations]:
+    """Rebuild per-observatory records from :func:`pack_observations` keys.
+
+    Accepts any mapping-like object with ``keys()`` and item access (such
+    as a loaded ``NpzFile``); unrelated keys are ignored.
+    """
+    columns: dict[str, dict[str, np.ndarray]] = {}
+    for key in items.keys():  # noqa: SIM118 - NpzFile has no __iter__ contract
+        parts = key.split(_NPZ_SEP)
+        if len(parts) != 3 or parts[0] != _NPZ_PREFIX:
+            continue
+        _, name, column = parts
+        columns.setdefault(name, {})[column] = items[key]
+    return {
+        name: Observations.from_arrays(name, arrays)
+        for name, arrays in columns.items()
+    }
 
 
 def observations_to_csv(observations: Observations, path: str | Path) -> Path:

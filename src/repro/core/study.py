@@ -26,9 +26,10 @@ import numpy as np
 from repro.attacks.booters import BooterMarket
 from repro.attacks.campaigns import CampaignConfig, CampaignModel
 from repro.attacks.events import AttackClass
-from repro.attacks.generator import GeneratorConfig, GroundTruthGenerator
+from repro.attacks.generator import GeneratorConfig
 from repro.attacks.landscape import LandscapeModel
 from repro.attacks.spoofing import SavModel
+from repro.core.cache import StudyCache, cache_enabled, config_fingerprint
 from repro.core.correlation import (
     BoxStats,
     CorrelationMatrix,
@@ -54,6 +55,7 @@ from repro.observatories.registry import (
 )
 from repro.observatories.telescope import TelescopeConfig
 from repro.util.calendar import STUDY_CALENDAR, TAKEDOWN_DATES, StudyCalendar
+from repro.util.parallel import simulate
 from repro.util.rng import RngFactory
 
 
@@ -165,11 +167,31 @@ class Table2Row:
 
 
 class Study:
-    """Runs the full reproduction once and serves every artefact from it."""
+    """Runs the full reproduction once and serves every artefact from it.
 
-    def __init__(self, config: StudyConfig | None = None) -> None:
+    ``jobs`` shards the simulation across worker processes (``0`` = one per
+    CPU); output is bit-for-bit identical for any worker count.  ``cache``
+    controls the on-disk result cache (:mod:`repro.core.cache`): ``None``
+    defers to the ``REPRO_NO_CACHE`` environment kill-switch, and
+    ``cache_dir`` overrides the cache location (default
+    ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+    """
+
+    def __init__(
+        self,
+        config: StudyConfig | None = None,
+        *,
+        jobs: int | None = 1,
+        shard_days: int | None = None,
+        cache: bool | None = None,
+        cache_dir: str | None = None,
+    ) -> None:
         self.config = config or StudyConfig()
         self.calendar = self.config.calendar
+        self.jobs = jobs
+        self.shard_days = shard_days
+        self._cache_enabled = cache_enabled() if cache is None else bool(cache)
+        self._cache = StudyCache(cache_dir)
         self._rng_factory = RngFactory(self.config.seed)
 
     # -- pipeline ---------------------------------------------------------------
@@ -225,35 +247,24 @@ class Study:
     def observations(self) -> dict[str, Observations]:
         """Simulation output: attack records per observatory (runs once).
 
-        Ground-truth weekly class counts are accumulated on the side and
+        Consults the on-disk study cache first; a miss simulates (sharded
+        across ``jobs`` worker processes) and stores the merged result.
+        Ground-truth weekly class counts ride along either way and are
         served by :meth:`ground_truth_weekly`.
         """
-        generator = GroundTruthGenerator(
-            self.plan,
-            self.calendar,
-            self.landscape,
-            self.campaigns,
-            config=self.config.generator,
-            rng_factory=self._rng_factory,
+        fingerprint = config_fingerprint(self.config)
+        if self._cache_enabled:
+            cached = self._cache.load(fingerprint)
+            if cached is not None:
+                sinks, ground_truth = cached
+                self._ground_truth_weekly = ground_truth
+                return sinks
+        sinks, ground_truth = simulate(
+            self.config, jobs=self.jobs, shard_days=self.shard_days
         )
-        ground_truth = {
-            attack_class: np.zeros(self.calendar.n_weeks)
-            for attack_class in AttackClass
-        }
-
-        def stream():
-            for batch in generator.batches():
-                week = batch.day // 7
-                ground_truth[AttackClass.DIRECT_PATH][week] += int(
-                    batch.is_direct_path.sum()
-                )
-                ground_truth[AttackClass.REFLECTION_AMPLIFICATION][week] += int(
-                    batch.is_reflection.sum()
-                )
-                yield batch
-
-        sinks = self.observatories.run_all(stream())
         self._ground_truth_weekly = ground_truth
+        if self._cache_enabled:
+            self._cache.store(fingerprint, sinks, ground_truth)
         return sinks
 
     def ground_truth_weekly(self, attack_class: AttackClass) -> np.ndarray:

@@ -36,21 +36,70 @@ class SeriesKey:
         return f"{self.observatory} ({self.attack_class.label})"
 
 
+class _ColumnBuffer:
+    """Growable columnar numpy buffer (amortised O(1) append).
+
+    Keeps one contiguous array per column and doubles capacity on demand,
+    so millions of small per-day appends neither fragment into thousands
+    of tiny arrays nor trigger quadratic re-concatenation.
+    """
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self, dtype, capacity: int = 256) -> None:
+        self._data = np.empty(capacity, dtype=dtype)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def extend(self, values: np.ndarray) -> None:
+        """Append ``values`` (already of the column dtype)."""
+        n = len(values)
+        needed = self._size + n
+        if needed > len(self._data):
+            capacity = max(needed, 2 * len(self._data))
+            grown = np.empty(capacity, dtype=self._data.dtype)
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+        self._data[self._size : needed] = values
+        self._size = needed
+
+    def trimmed(self) -> np.ndarray:
+        """The filled portion, shrunk to size (owns its memory)."""
+        out = self._data[: self._size]
+        if len(self._data) != self._size:
+            out = out.copy()
+            self._data = out
+        return out
+
+
+#: Column names and dtypes of one observation record, in storage order.
+OBSERVATION_COLUMNS: tuple[tuple[str, type], ...] = (
+    ("day", np.int32),
+    ("target", np.int64),
+    ("attack_class", np.int8),
+    ("vector_id", np.int16),
+    ("spoofed", np.bool_),
+    ("bps", np.float64),
+    ("duration", np.float64),
+)
+
+
 class Observations:
     """Accumulated attack records of one observatory.
 
-    Records are appended per day batch and finalised into flat numpy arrays.
+    Records are appended per day batch into columnar numpy buffers and
+    finalised into flat arrays.  Finalised instances pickle cheaply and can
+    be concatenated with :meth:`merge` — the primitive the sharded executor
+    in :mod:`repro.util.parallel` uses to combine per-shard sinks.
     """
 
     def __init__(self, observatory: str) -> None:
         self.observatory = observatory
-        self._days: list[np.ndarray] = []
-        self._targets: list[np.ndarray] = []
-        self._classes: list[np.ndarray] = []
-        self._vectors: list[np.ndarray] = []
-        self._spoofed: list[np.ndarray] = []
-        self._bps: list[np.ndarray] = []
-        self._durations: list[np.ndarray] = []
+        self._buffers: dict[str, _ColumnBuffer] | None = {
+            name: _ColumnBuffer(dtype) for name, dtype in OBSERVATION_COLUMNS
+        }
         self._final: dict[str, np.ndarray] | None = None
 
     def append(
@@ -79,13 +128,15 @@ class Observations:
             raise ValueError("parallel arrays must have equal length")
         if n == 0:
             return
-        self._days.append(np.full(n, day, dtype=np.int32))
-        self._targets.append(np.asarray(target, dtype=np.int64))
-        self._classes.append(np.asarray(attack_class, dtype=np.int8))
-        self._vectors.append(np.asarray(vector_id, dtype=np.int16))
-        self._spoofed.append(np.asarray(spoofed, dtype=bool))
-        self._bps.append(np.asarray(bps, dtype=np.float64))
-        self._durations.append(
+        buffers = self._buffers
+        assert buffers is not None
+        buffers["day"].extend(np.full(n, day, dtype=np.int32))
+        buffers["target"].extend(np.asarray(target, dtype=np.int64))
+        buffers["attack_class"].extend(np.asarray(attack_class, dtype=np.int8))
+        buffers["vector_id"].extend(np.asarray(vector_id, dtype=np.int16))
+        buffers["spoofed"].extend(np.asarray(spoofed, dtype=bool))
+        buffers["bps"].extend(np.asarray(bps, dtype=np.float64))
+        buffers["duration"].extend(
             np.asarray(duration, dtype=np.float64)
             if duration is not None
             else np.full(n, np.nan)
@@ -93,19 +144,67 @@ class Observations:
 
     def _materialise(self) -> dict[str, np.ndarray]:
         if self._final is None:
+            buffers = self._buffers
+            assert buffers is not None
             self._final = {
-                "day": _concat(self._days, np.int32),
-                "target": _concat(self._targets, np.int64),
-                "attack_class": _concat(self._classes, np.int8),
-                "vector_id": _concat(self._vectors, np.int16),
-                "spoofed": _concat(self._spoofed, bool),
-                "bps": _concat(self._bps, np.float64),
-                "duration": _concat(self._durations, np.float64),
+                name: buffers[name].trimmed()
+                for name, _ in OBSERVATION_COLUMNS
             }
-            self._days = self._targets = self._classes = []  # type: ignore[assignment]
-            self._vectors = self._spoofed = self._bps = []  # type: ignore[assignment]
-            self._durations = []
+            self._buffers = None
         return self._final
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_arrays(
+        cls, observatory: str, arrays: dict[str, np.ndarray]
+    ) -> "Observations":
+        """Build finalised observations from a column dict (cache loads,
+        shard merges)."""
+        missing = {name for name, _ in OBSERVATION_COLUMNS} - set(arrays)
+        if missing:
+            raise ValueError(f"missing observation columns: {sorted(missing)}")
+        length = len(arrays["day"])
+        final: dict[str, np.ndarray] = {}
+        for name, dtype in OBSERVATION_COLUMNS:
+            column = np.asarray(arrays[name], dtype=dtype)
+            if len(column) != length:
+                raise ValueError(f"column {name} length mismatch")
+            final[name] = column
+        observations = cls(observatory)
+        observations._buffers = None
+        observations._final = final
+        return observations
+
+    @classmethod
+    def merge(
+        cls, parts: "list[Observations]", observatory: str | None = None
+    ) -> "Observations":
+        """Concatenate observations in order (e.g. day-range shards)."""
+        if not parts:
+            raise ValueError("need at least one part to merge")
+        name = observatory if observatory is not None else parts[0].observatory
+        columns = [part._materialise() for part in parts]
+        return cls.from_arrays(
+            name,
+            {
+                column: np.concatenate([part[column] for part in columns])
+                for column, _ in OBSERVATION_COLUMNS
+            },
+        )
+
+    # -- pickling (finalises: shard workers ship finished columns) -------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "observatory": self.observatory,
+            "columns": self._materialise(),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.observatory = state["observatory"]
+        self._buffers = None
+        self._final = state["columns"]
 
     # -- accessors -------------------------------------------------------------
 
@@ -179,12 +278,6 @@ class Observations:
     def distinct_targets(self) -> set[int]:
         """Distinct target IPs."""
         return set(self.target.tolist())
-
-
-def _concat(parts: list[np.ndarray], dtype) -> np.ndarray:
-    if not parts:
-        return np.empty(0, dtype=dtype)
-    return np.concatenate(parts)
 
 
 class VisibilityNoise:

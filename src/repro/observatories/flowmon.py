@@ -28,7 +28,11 @@ from repro.observatories.base import Observations, Observatory, VisibilityNoise
 
 
 class _PrefixMembershipCache:
-    """Memoised per-target membership in a prefix set (targets recur often)."""
+    """Memoised per-target membership in a prefix set (targets recur often).
+
+    Python-level lookups run once per *distinct* target in the batch; the
+    per-record expansion is a vectorised take.
+    """
 
     def __init__(self, check) -> None:
         self._check = check
@@ -37,13 +41,37 @@ class _PrefixMembershipCache:
     def __call__(self, targets: np.ndarray) -> np.ndarray:
         memo = self._memo
         check = self._check
-        out = np.empty(len(targets), dtype=bool)
-        for i, raw in enumerate(targets.tolist()):
+        unique, inverse = np.unique(targets, return_inverse=True)
+        flags = np.empty(len(unique), dtype=bool)
+        for i, raw in enumerate(unique.tolist()):
             cached = memo.get(raw)
             if cached is None:
                 cached = memo[raw] = check(raw)
-            out[i] = cached
-        return out
+            flags[i] = cached
+        return flags[inverse]
+
+
+class _SortedMembership:
+    """Vectorised membership test against a fixed ASN set.
+
+    Keeps the set as a sorted array and answers per-batch queries with one
+    ``searchsorted`` — unlike ``np.isin``, nothing is re-sorted per call.
+    """
+
+    def __init__(self, values) -> None:
+        self._sorted = np.asarray(sorted(values), dtype=np.int64)
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._sorted
+
+    def __call__(self, queries: np.ndarray) -> np.ndarray:
+        table = self._sorted
+        if len(table) == 0:
+            return np.zeros(len(queries), dtype=bool)
+        positions = np.searchsorted(table, queries)
+        positions[positions == len(table)] = len(table) - 1
+        return table[positions] == queries
 
 
 class NetscoutAtlas(Observatory):
@@ -70,14 +98,12 @@ class NetscoutAtlas(Observatory):
         self.detection_probability = detection_probability
         self.noise = noise
         self._rng = rng
-        self._customer_asns = np.asarray(
-            sorted(plan.netscout_customer_asns), dtype=np.int64
-        )
+        self._covered = _SortedMembership(plan.netscout_customer_asns)
 
     def observe(self, batch: DayBatch, into: Observations) -> None:
         if len(batch) == 0 or self.in_outage(batch.day):
             return
-        covered = np.isin(batch.origin_asn, self._customer_asns)
+        covered = self._covered(batch.origin_asn)
         above_floor = batch.bps >= self.severity_floor_bps
         probability = self.detection_probability * batch.bias[self.key]
         if self.noise is not None:
@@ -210,12 +236,12 @@ class IxpBlackholing(Observatory):
         self.blackhole_probability = blackhole_probability
         self.noise = noise
         self._rng = rng
-        self._member_asns = np.asarray(sorted(plan.ixp_member_asns), dtype=np.int64)
+        self._covered = _SortedMembership(plan.ixp_member_asns)
 
     def observe(self, batch: DayBatch, into: Observations) -> None:
         if len(batch) == 0 or self.in_outage(batch.day):
             return
-        covered = np.isin(batch.origin_asn, self._member_asns)
+        covered = self._covered(batch.origin_asn)
         threshold = np.where(
             batch.is_reflection, self.ra_threshold_bps, self.dp_threshold_bps
         )

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.attacks.events import AttackClass
 from repro.net.plan import (
     ORION_TELESCOPE_PREFIX,
@@ -107,11 +109,33 @@ class ObservatorySet:
     def run_all(self, batches) -> dict[str, Observations]:
         """Feed every observatory from one pass over the day batches."""
         sinks = {obs.name: Observations(obs.name) for obs in self.all()}
-        everyone = self.all()
+        pairs = [(obs, sinks[obs.name]) for obs in self.all()]
         for batch in batches:
-            for observatory in everyone:
-                observatory.observe(batch, sinks[observatory.name])
+            for observatory, sink in pairs:
+                observatory.observe(batch, sink)
         return sinks
+
+    def run_with_ground_truth(
+        self, batches, calendar: StudyCalendar
+    ) -> tuple[dict[str, Observations], dict[AttackClass, np.ndarray]]:
+        """One pass over the batches, also accumulating per-class weekly
+        ground-truth counts — the unit of work of one simulation shard."""
+        ground_truth = {
+            attack_class: np.zeros(calendar.n_weeks)
+            for attack_class in AttackClass
+        }
+        dp = ground_truth[AttackClass.DIRECT_PATH]
+        ra = ground_truth[AttackClass.REFLECTION_AMPLIFICATION]
+
+        def counted():
+            for batch in batches:
+                week = batch.day // 7
+                dp[week] += int(batch.is_direct_path.sum())
+                ra[week] += int(batch.is_reflection.sum())
+                yield batch
+
+        sinks = self.run_all(counted())
+        return sinks, ground_truth
 
 
 def build_observatories(

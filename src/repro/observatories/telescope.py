@@ -72,6 +72,13 @@ class NetworkTelescope(Observatory):
         #: mitigation onset.
         self.mitigation = mitigation
         self._rng = rng
+        # Per-batch invariants, hoisted out of observe(): the expected
+        # backscatter share per attack pps and the threshold scalars.
+        self._backscatter_share = self.config.response_ratio * self.share
+        self._min_packets = self.config.min_packets
+        self._min_duration_s = self.config.min_duration_s
+        self._window_packets = self.config.window_packets
+        self._window_s = self.config.window_s
 
     # -- analytic sensitivity ----------------------------------------------------
 
@@ -106,19 +113,19 @@ class NetworkTelescope(Observatory):
         else:
             duration = batch.duration[indices]
 
-        backscatter_rate = pps * self.config.response_ratio * self.share * bias
+        backscatter_rate = pps * self._backscatter_share * bias
         if self.noise is not None:
             backscatter_rate = backscatter_rate * self.noise.factor(batch.day // 7)
         expected_total = backscatter_rate * duration
         total = self._rng.poisson(expected_total)
 
-        expected_window = backscatter_rate * self.config.window_s
+        expected_window = backscatter_rate * self._window_s
         window = np.minimum(total, self._rng.poisson(expected_window))
 
         detected = (
-            (total >= self.config.min_packets)
-            & (duration >= self.config.min_duration_s)
-            & (window >= self.config.window_packets)
+            (total >= self._min_packets)
+            & (duration >= self._min_duration_s)
+            & (window >= self._window_packets)
         )
         hits = indices[detected]
         into.append(

@@ -1,0 +1,237 @@
+"""Sharded, process-parallel simulation executor.
+
+The study calendar is split into contiguous day-range shards; each shard
+builds its own ground-truth generator and observatory set and simulates its
+range independently.  Three properties make the result exactly equal for
+*any* worker count:
+
+* the shard plan depends only on the calendar and shard size — never on
+  ``jobs`` — so serial and parallel runs execute identical shard units;
+* every study day draws from a day-keyed RNG stream (see
+  :class:`~repro.attacks.generator.GroundTruthGenerator`), and each shard
+  gets fresh observatory instances whose weekly noise streams are
+  re-derived from the study seed;
+* per-shard sinks are merged in shard order with
+  :meth:`~repro.observatories.base.Observations.merge`.
+
+``simulate()`` is the single entry point: :class:`~repro.core.study.Study`
+routes through it (with the on-disk cache of :mod:`repro.core.cache` in
+front), and the CLI exposes it via ``--jobs``.
+
+Model substrate (Internet plan, landscape, campaigns) is deterministic and
+read-only, so it is memoised per process; on platforms with ``fork`` the
+parent warms the memo before spawning workers and children inherit it for
+free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.attacks.booters import BooterMarket
+from repro.attacks.campaigns import CampaignModel
+from repro.attacks.events import AttackClass
+from repro.attacks.generator import GroundTruthGenerator
+from repro.attacks.landscape import LandscapeModel
+from repro.net.plan import InternetPlan, PlanConfig, build_internet_plan
+from repro.observatories.base import Observations
+from repro.observatories.registry import ObservatorySet, build_observatories
+from repro.util.rng import RngFactory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (study -> parallel)
+    from repro.core.study import StudyConfig
+
+#: Default shard width in days.  Fixed (never derived from ``jobs``) so the
+#: shard plan — and with it the simulation output — is identical for any
+#: worker count.  Four weeks keeps >50 shards on the full 4.5-year window
+#: while leaving the recurrence pool plenty of fill within each shard.
+DEFAULT_SHARD_DAYS = 28
+
+
+def plan_shards(
+    n_days: int, shard_days: int = DEFAULT_SHARD_DAYS
+) -> tuple[tuple[int, int], ...]:
+    """Contiguous ``[start, stop)`` day ranges covering ``n_days``.
+
+    The final shard absorbs the remainder, so no shard is shorter than
+    ``shard_days`` except when the window itself is.
+    """
+    if n_days <= 0:
+        raise ValueError("n_days must be positive")
+    if shard_days <= 0:
+        raise ValueError("shard_days must be positive")
+    edges = list(range(0, n_days, shard_days))
+    shards = [
+        (start, min(start + shard_days, n_days)) for start in edges
+    ]
+    # Merge a short tail into its predecessor to keep shards near-uniform.
+    if len(shards) >= 2 and shards[-1][1] - shards[-1][0] < shard_days // 2:
+        shards[-2] = (shards[-2][0], shards[-1][1])
+        shards.pop()
+    return tuple(shards)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Worker count: ``None``/``0`` means one per available CPU."""
+    if jobs is None or jobs <= 0:
+        try:
+            return len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux fallback
+            return os.cpu_count() or 1
+    return jobs
+
+
+# -- model substrate (read-only, memoised per process) -------------------------
+
+
+@dataclass
+class SimulationModels:
+    """Deterministic, reusable model substrate for one study config."""
+
+    plan: InternetPlan
+    landscape: LandscapeModel
+    campaigns: CampaignModel
+
+
+def build_models(config: "StudyConfig") -> SimulationModels:
+    """Build the simulation substrate exactly as :class:`Study` does."""
+    plan_config = config.plan or PlanConfig(seed=config.seed)
+    plan = build_internet_plan(plan_config)
+    booters = (
+        BooterMarket.default(config.calendar)
+        if config.include_takedowns
+        else BooterMarket.without_takedowns()
+    )
+    landscape = LandscapeModel(
+        config.calendar,
+        dp_per_day=config.dp_per_day,
+        ra_per_day=config.ra_per_day,
+        sav=config.sav,
+        booters=booters,
+    )
+    campaigns = CampaignModel(
+        config.calendar,
+        RngFactory(config.seed),
+        config=config.campaigns,
+        candidate_asns=[
+            info.asn for info in plan.ases if info.target_weight > 0
+        ],
+    )
+    return SimulationModels(plan=plan, landscape=landscape, campaigns=campaigns)
+
+
+_MODELS_MEMO: dict[str, SimulationModels] = {}
+
+
+def models_for(config: "StudyConfig") -> SimulationModels:
+    """Per-process memo of the substrate, keyed by config fingerprint."""
+    from repro.core.cache import config_fingerprint
+
+    key = config_fingerprint(config)
+    models = _MODELS_MEMO.get(key)
+    if models is None:
+        models = _MODELS_MEMO[key] = build_models(config)
+    return models
+
+
+def _build_observatories(
+    config: "StudyConfig", plan: InternetPlan
+) -> ObservatorySet:
+    """Fresh observatory instances (they hold RNG state) for one shard."""
+    return build_observatories(
+        plan,
+        RngFactory(config.seed),
+        telescope_config=config.telescope,
+        aggregate_carpet=config.aggregate_carpet,
+        calendar=config.calendar,
+        paper_outages=config.paper_outages,
+    )
+
+
+# -- shard execution -----------------------------------------------------------
+
+
+def run_shard(
+    config: "StudyConfig", start: int, stop: int
+) -> tuple[dict[str, Observations], dict[AttackClass, np.ndarray]]:
+    """Simulate one contiguous day range with fresh generator + observatories."""
+    models = models_for(config)
+    generator = GroundTruthGenerator(
+        models.plan,
+        config.calendar,
+        models.landscape,
+        models.campaigns,
+        config=config.generator,
+        rng_factory=RngFactory(config.seed),
+        day_range=(start, stop),
+    )
+    observatories = _build_observatories(config, models.plan)
+    return observatories.run_with_ground_truth(
+        generator.batches(), config.calendar
+    )
+
+
+def _run_shard_task(
+    task: tuple["StudyConfig", int, int]
+) -> tuple[dict[str, Observations], dict[AttackClass, np.ndarray]]:
+    config, start, stop = task
+    return run_shard(config, start, stop)
+
+
+def merge_shard_results(
+    results: list[tuple[dict[str, Observations], dict[AttackClass, np.ndarray]]],
+) -> tuple[dict[str, Observations], dict[AttackClass, np.ndarray]]:
+    """Concatenate per-shard sinks (in shard order) and sum ground truth."""
+    if not results:
+        raise ValueError("no shard results to merge")
+    first_sinks, first_truth = results[0]
+    sinks = {
+        name: Observations.merge([shard[0][name] for shard in results])
+        for name in first_sinks
+    }
+    ground_truth = {
+        attack_class: np.sum(
+            [shard[1][attack_class] for shard in results], axis=0
+        )
+        for attack_class in first_truth
+    }
+    return sinks, ground_truth
+
+
+def simulate(
+    config: "StudyConfig",
+    jobs: int | None = 1,
+    shard_days: int | None = None,
+) -> tuple[dict[str, Observations], dict[AttackClass, np.ndarray]]:
+    """Run the full study simulation, sharded across ``jobs`` processes.
+
+    Returns ``(observations per observatory, weekly ground truth per attack
+    class)``.  Output is bit-for-bit identical for any ``jobs`` value given
+    the same ``shard_days``; ``jobs=1`` (the default) runs the same shard
+    plan in-process with zero multiprocessing overhead.
+    """
+    width = shard_days if shard_days is not None else DEFAULT_SHARD_DAYS
+    shards = plan_shards(config.calendar.n_days, width)
+    workers = min(resolve_jobs(jobs), len(shards))
+    if workers <= 1:
+        results = [run_shard(config, start, stop) for start, stop in shards]
+        return merge_shard_results(results)
+
+    # Warm the per-process substrate memo before the pool is created: with
+    # the fork start method every worker inherits the built models and pays
+    # no per-shard setup cost.
+    models_for(config)
+    start_methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in start_methods else None
+    )
+    tasks = [(config, start, stop) for start, stop in shards]
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        results = list(pool.map(_run_shard_task, tasks))
+    return merge_shard_results(results)

@@ -11,6 +11,34 @@ from repro.net.plan import PlanConfig, build_internet_plan
 from repro.util.calendar import StudyCalendar
 from repro.util.rng import RngFactory
 
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory: pytest.TempPathFactory):
+    """Redirect the study cache to a temp dir for the whole test session.
+
+    Unit tests must never read from or write to the user's real cache
+    (stale entries would mask simulation changes; runs would pollute the
+    user's disk).  A guard asserts the real default location gained no
+    entries during the run.
+    """
+    from repro.core import cache as cache_module
+
+    with pytest.MonkeyPatch.context() as patcher:
+        patcher.delenv(cache_module.CACHE_DIR_ENV, raising=False)
+        real_root = cache_module.default_cache_dir()
+    before = set(real_root.glob("study-*.npz")) if real_root.is_dir() else set()
+
+    with pytest.MonkeyPatch.context() as patcher:
+        patcher.setenv(
+            cache_module.CACHE_DIR_ENV,
+            str(tmp_path_factory.mktemp("repro-cache")),
+        )
+        yield
+
+    after = set(real_root.glob("study-*.npz")) if real_root.is_dir() else set()
+    leaked = after - before
+    assert not leaked, f"tests wrote to the real cache dir {real_root}: {leaked}"
+
 #: A ~69-week window (covers the 15-week baseline plus a year of trend).
 SMALL_CALENDAR = StudyCalendar(dt.date(2019, 1, 1), dt.date(2020, 4, 30))
 

@@ -1,0 +1,151 @@
+"""Sharded/parallel executor: shard planning and determinism regression."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.net.plan import PlanConfig
+from repro.observatories.base import OBSERVATION_COLUMNS
+from repro.util.calendar import StudyCalendar
+from repro.util.parallel import (
+    DEFAULT_SHARD_DAYS,
+    merge_shard_results,
+    plan_shards,
+    resolve_jobs,
+    run_shard,
+    simulate,
+)
+
+
+def _column_names() -> tuple[str, ...]:
+    return tuple(name for name, _ in OBSERVATION_COLUMNS)
+
+
+def _assert_identical(result_a, result_b) -> None:
+    sinks_a, truth_a = result_a
+    sinks_b, truth_b = result_b
+    assert sorted(sinks_a) == sorted(sinks_b)
+    for name in sinks_a:
+        obs_a, obs_b = sinks_a[name], sinks_b[name]
+        assert len(obs_a) == len(obs_b), name
+        for column in _column_names():
+            left = getattr(obs_a, column)
+            right = getattr(obs_b, column)
+            assert left.dtype == right.dtype, (name, column)
+            assert np.array_equal(
+                left, right, equal_nan=left.dtype.kind == "f"
+            ), (name, column)
+    assert sorted(truth_a) == sorted(truth_b)
+    for attack_class in truth_a:
+        assert np.array_equal(truth_a[attack_class], truth_b[attack_class])
+
+
+class TestPlanShards:
+    def test_covers_window_contiguously(self):
+        shards = plan_shards(365, 28)
+        assert shards[0][0] == 0
+        assert shards[-1][1] == 365
+        for (_, stop), (start, _) in zip(shards, shards[1:]):
+            assert stop == start
+
+    def test_short_tail_merged_into_predecessor(self):
+        # 100 = 3*28 + 16 > 14, tail kept; 90 = 3*28 + 6 < 14, tail merged.
+        assert plan_shards(100, 28)[-1] == (84, 100)
+        assert plan_shards(90, 28)[-1] == (56, 90)
+
+    def test_window_shorter_than_shard(self):
+        assert plan_shards(10, 28) == ((0, 10),)
+
+    def test_exact_multiple(self):
+        assert plan_shards(56, 28) == ((0, 28), (28, 56))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            plan_shards(0, 28)
+        with pytest.raises(ValueError):
+            plan_shards(100, 0)
+
+    def test_independent_of_jobs(self):
+        # The shard plan is a pure function of the window — this is what
+        # makes parallel output identical to serial.
+        assert plan_shards(365) == plan_shards(365, DEFAULT_SHARD_DAYS)
+
+
+class TestResolveJobs:
+    def test_explicit_count_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_auto_detect_is_positive(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+
+
+@pytest.fixture(scope="module")
+def short_config() -> StudyConfig:
+    """~26 weeks, small plan: a few seconds to simulate, several shards."""
+    return StudyConfig(
+        seed=11,
+        calendar=StudyCalendar(dt.date(2019, 1, 1), dt.date(2019, 7, 2)),
+        dp_per_day=40.0,
+        ra_per_day=30.0,
+        plan=PlanConfig(seed=11, tail_as_count=80),
+    )
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self, short_config):
+        """The headline guarantee: jobs=4 output equals jobs=1 output."""
+        serial = simulate(short_config, jobs=1)
+        parallel = simulate(short_config, jobs=4)
+        _assert_identical(serial, parallel)
+
+    def test_rerun_is_stable(self, short_config):
+        _assert_identical(
+            simulate(short_config, jobs=1), simulate(short_config, jobs=1)
+        )
+
+    def test_shards_partition_the_event_stream(self, short_config):
+        """Each record lands in exactly the shard owning its day."""
+        shards = plan_shards(short_config.calendar.n_days)
+        for start, stop in shards[:3]:
+            sinks, _ = run_shard(short_config, start, stop)
+            for observations in sinks.values():
+                if len(observations):
+                    assert observations.day.min() >= start
+                    assert observations.day.max() < stop
+
+    def test_merge_preserves_shard_order(self, short_config):
+        shards = plan_shards(short_config.calendar.n_days)
+        results = [run_shard(short_config, *shard) for shard in shards]
+        sinks, truth = merge_shard_results(results)
+        whole = simulate(short_config, jobs=1)
+        _assert_identical((sinks, truth), whole)
+        for observations in sinks.values():
+            days = observations.day
+            assert np.all(np.diff(days) >= 0), "merged days must be sorted"
+
+    def test_merge_requires_results(self):
+        with pytest.raises(ValueError):
+            merge_shard_results([])
+
+
+class TestStudyIntegration:
+    def test_study_jobs_kwarg(self, short_config):
+        from repro.attacks.events import AttackClass
+
+        serial = Study(short_config, jobs=1, cache=False)
+        parallel = Study(short_config, jobs=2, cache=False)
+        _assert_identical(
+            (
+                serial.observations,
+                {ac: serial.ground_truth_weekly(ac) for ac in AttackClass},
+            ),
+            (
+                parallel.observations,
+                {ac: parallel.ground_truth_weekly(ac) for ac in AttackClass},
+            ),
+        )
