@@ -1,12 +1,27 @@
 # Convenience targets for the DDoScovery reproduction.
 
-.PHONY: install test bench bench-perf examples artefacts clean
+.PHONY: install test test-fast conformance ci bench bench-perf examples artefacts clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Tier 1 only: the default addopts already deselect slow/conformance tests;
+# this target just names the tier explicitly.
+test-fast:
+	pytest tests/ -m "not slow and not conformance"
+
+# Full-window paper conformance: the CLI report (also written as an
+# artefact) plus the conformance-marked pytest tier.
+conformance:
+	python -m repro.cli conformance --jobs 0 --out benchmarks/results/CONFORMANCE.txt
+	pytest tests/ -m conformance
+
+# What CI runs: fast tier, full conformance, and a compile pass.
+ci: test-fast conformance
+	python -m compileall -q src
 
 bench:
 	pytest benchmarks/ --benchmark-only

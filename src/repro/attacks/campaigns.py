@@ -84,9 +84,8 @@ class CampaignModel:
     ) -> None:
         self.calendar = calendar
         self.config = config or CampaignConfig()
-        rng = rng_factory.stream("attacks/campaigns")
         self.campaigns: list[Campaign] = []
-        self._spawn_random(rng, candidate_asns or [])
+        self._spawn_random(rng_factory, candidate_asns or [])
         self._add_scripted(candidate_asns or [])
         self._by_day: list[list[Campaign]] = [[] for _ in range(calendar.n_days)]
         for campaign in self.campaigns:
@@ -105,12 +104,23 @@ class CampaignModel:
         }
 
     def _spawn_random(
-        self, rng: np.random.Generator, candidate_asns: list[int]
+        self, rng_factory: RngFactory, candidate_asns: list[int]
     ) -> None:
+        """Spawn random campaigns from per-(class, week) RNG streams.
+
+        Keying the stream by attack class and spawn week (instead of one
+        sequential stream over the whole window) makes the campaign set
+        *calendar-prefix consistent*: a study over a shorter window spawns
+        exactly the campaigns of a longer window's first weeks — the
+        property the metamorphic conformance suite checks.
+        """
         config = self.config
         campaign_id = 0
         for attack_class in AttackClass:
             for week_start in range(0, self.calendar.n_days, 7):
+                rng = rng_factory.stream(
+                    f"attacks/campaigns/{attack_class.name}/{week_start}"
+                )
                 spawned = rng.poisson(config.spawn_rate_per_week)
                 for _ in range(spawned):
                     duration = 1 + int(rng.geometric(1.0 / config.mean_duration_days))

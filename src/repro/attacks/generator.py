@@ -214,13 +214,17 @@ class GroundTruthGenerator:
     def _draw_weekly_noise(self) -> dict[AttackClass, np.ndarray]:
         """Weekly lognormal supply noise, one factor per class per week.
 
-        Drawn from a dedicated stream so every day-range shard sees the
-        same factors as a full run.
+        Each class draws from its own dedicated stream so every day-range
+        shard sees the same factors as a full run, and — because week ``w``
+        is always the ``w``-th draw of its class stream — a shorter study
+        window sees exactly the factors of a longer window's first weeks
+        (calendar-prefix consistency).
         """
-        noise_rng = self._factory.stream("attacks/generator/weekly-noise")
         sigma = self.config.weekly_noise_sigma
         return {
-            attack_class: noise_rng.lognormal(
+            attack_class: self._factory.stream(
+                f"attacks/generator/weekly-noise/{attack_class.name}"
+            ).lognormal(
                 mean=-0.5 * sigma * sigma, sigma=sigma, size=self.calendar.n_weeks
             )
             for attack_class in AttackClass

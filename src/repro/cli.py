@@ -12,6 +12,10 @@ Subcommands:
     Print telescope detection floors for a given prefix length.
 ``ddoscovery cache``
     Inspect or clear the on-disk simulation cache.
+``ddoscovery conformance``
+    Evaluate the paper-conformance check registry and the golden
+    fingerprints; ``--update-goldens`` refreshes the pins after an
+    intentional model change.
 
 Examples::
 
@@ -22,6 +26,9 @@ Examples::
     ddoscovery sensitivity --prefix-length 20
     ddoscovery cache info
     ddoscovery cache clear
+    ddoscovery conformance
+    ddoscovery conformance --out benchmarks/results/CONFORMANCE.txt
+    ddoscovery conformance --pinned seed0-small --update-goldens
 """
 
 from __future__ import annotations
@@ -123,6 +130,68 @@ def _build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
+    conformance = commands.add_parser(
+        "conformance",
+        help="evaluate paper-conformance checks and golden fingerprints",
+    )
+    conformance.add_argument(
+        "--seed", type=int, default=0, help="study seed (default 0)"
+    )
+    conformance.add_argument(
+        "--weeks",
+        type=int,
+        default=None,
+        help="shorten the window to N weeks (default: full window; "
+        "horizon-bound checks are skipped, not failed)",
+    )
+    conformance.add_argument(
+        "--pinned",
+        default=None,
+        metavar="NAME",
+        help="run a named pinned config (e.g. seed0-small) instead of "
+        "--seed/--weeks",
+    )
+    conformance.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="simulation worker processes (0 = one per CPU; default 0)",
+    )
+    conformance.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk simulation cache",
+    )
+    conformance.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    conformance.add_argument(
+        "--golden-dir",
+        type=Path,
+        default=None,
+        help="golden directory (default $REPRO_GOLDEN_DIR or tests/goldens)",
+    )
+    conformance.add_argument(
+        "--skip-goldens",
+        action="store_true",
+        help="evaluate checks only; skip the golden-fingerprint comparison",
+    )
+    conformance.add_argument(
+        "--update-goldens",
+        action="store_true",
+        help="(re)write the golden fingerprints for this configuration",
+    )
+    conformance.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write the report to a file "
+        "(e.g. benchmarks/results/CONFORMANCE.txt)",
     )
 
     return parser
@@ -276,12 +345,74 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_conformance(args: argparse.Namespace) -> int:
+    from repro.core.golden import (
+        GoldenStore,
+        golden_payload,
+        pinned_configs,
+        verify_study,
+    )
+
+    if args.pinned is not None:
+        pinned = pinned_configs()
+        if args.pinned not in pinned:
+            raise SystemExit(
+                f"unknown pinned config {args.pinned!r}; "
+                f"available: {sorted(pinned)}"
+            )
+        config = pinned[args.pinned]
+        golden_name = args.pinned
+    else:
+        config = StudyConfig(seed=args.seed, calendar=_calendar_for(args.weeks))
+        golden_name = (
+            f"seed{args.seed}-full"
+            if args.weeks is None
+            else f"seed{args.seed}-{args.weeks}w"
+        )
+
+    study = Study(
+        config,
+        jobs=args.jobs,
+        cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir,
+    )
+    print(
+        f"simulating {study.calendar.start} .. {study.calendar.end} "
+        f"(seed {config.seed}) ...",
+        file=sys.stderr,
+    )
+
+    report = study.conformance()
+    sections = [report.render()]
+    ok = report.ok
+
+    if args.update_goldens:
+        store = GoldenStore(args.golden_dir)
+        path = store.save(golden_name, golden_payload(study, golden_name))
+        sections.append(f"golden '{golden_name}': updated ({path})")
+    elif not args.skip_goldens:
+        comparison = verify_study(
+            study, golden_name, GoldenStore(args.golden_dir)
+        )
+        sections.append(comparison.render())
+        ok = ok and comparison.ok
+
+    text = "\n\n".join(sections)
+    print(text)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if ok else 1
+
+
 _COMMANDS = {
     "run": _command_run,
     "survey": _command_survey,
     "landscape": _command_landscape,
     "sensitivity": _command_sensitivity,
     "cache": _command_cache,
+    "conformance": _command_conformance,
 }
 
 

@@ -18,10 +18,20 @@ it is usable on real attack feeds, not just the simulation:
 * :mod:`repro.core.shares` — attack-class share series;
 * :mod:`repro.core.study` — the end-to-end study runner regenerating
   every table and figure of the paper;
+* :mod:`repro.core.conformance` — executable paper-shape claims evaluated
+  into a structured pass/fail/skip report;
+* :mod:`repro.core.golden` — bit-exact golden fingerprints of pinned
+  study configurations;
 * :mod:`repro.core.render` — plain-text rendering of the artefacts.
 """
 
+from repro.core.conformance import (
+    ConformanceReport,
+    all_checks,
+    evaluate_conformance,
+)
 from repro.core.consensus import consensus, evaluate_consensus
+from repro.core.golden import GoldenStore, study_fingerprints, verify_study
 from repro.core.correlation import correlation_matrix, quarterly_correlations
 from repro.core.interventions import intervention_effect, takedown_effects
 from repro.core.overlap import pairwise_overlap_shares, upset
@@ -50,4 +60,10 @@ __all__ = [
     "evaluate_consensus",
     "intervention_effect",
     "takedown_effects",
+    "ConformanceReport",
+    "all_checks",
+    "evaluate_conformance",
+    "GoldenStore",
+    "study_fingerprints",
+    "verify_study",
 ]

@@ -43,7 +43,9 @@ CACHE_DISABLE_ENV = "REPRO_NO_CACHE"
 
 #: Bumped whenever the stored layout or simulation semantics change, so
 #: stale files from older versions miss instead of deserialising garbage.
-CACHE_SCHEMA_VERSION = 1
+#: v2: campaign spawning and weekly supply noise moved to per-(class, week)
+#: keyed RNG streams (calendar-prefix consistency).
+CACHE_SCHEMA_VERSION = 2
 
 _META_KEY = "__meta__"
 _TRUTH_PREFIX = "truth::"

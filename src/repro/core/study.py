@@ -581,6 +581,30 @@ class Study:
         """Directed pairwise overlap shares of academic target sets."""
         return pairwise_overlap_shares(self.academic_target_sets)
 
+    # -- conformance ----------------------------------------------------------------
+
+    def conformance(self, checks=None):
+        """Evaluate the paper-conformance registry against this study.
+
+        Returns a :class:`~repro.core.conformance.ConformanceReport`;
+        checks that need a longer window than this study's calendar are
+        skipped, not failed.  ``checks`` restricts evaluation to a subset.
+        """
+        from repro.core.conformance import evaluate_conformance
+
+        return evaluate_conformance(self, checks)
+
+    def fingerprints(self) -> dict[str, str]:
+        """sha256 fingerprints of the study's key derived arrays.
+
+        The payload of the golden-regression layer
+        (:mod:`repro.core.golden`): weekly series, trend slopes,
+        correlation matrices, and ground-truth weeklies, hashed bit-exact.
+        """
+        from repro.core.golden import study_fingerprints
+
+        return study_fingerprints(self)
+
     def headline(self) -> dict[str, object]:
         """The study's headline findings in one dictionary.
 

@@ -81,33 +81,50 @@ def validate_observations(
         report.errors.append(f"unknown attack classes: {sorted(bad_classes)}")
 
     vectors = observations.vector_id
-    if int(vectors.min()) < 0 or int(vectors.max()) >= len(VECTORS):
+    in_catalogue = (vectors >= 0) & (vectors < len(VECTORS))
+    if not in_catalogue.all():
         report.errors.append(
             f"vector ids outside catalogue "
             f"[{int(vectors.min())}, {int(vectors.max())}]"
         )
-    else:
-        # Class/vector consistency: reflection records must carry
-        # reflection vectors and vice versa.
+    # Class/vector consistency: reflection records must carry reflection
+    # vectors and vice versa.  Checked on the in-catalogue subset so a
+    # range error does not silently swallow it; if nothing is checkable,
+    # say so instead of silently branching.
+    if in_catalogue.any():
         kinds = np.asarray(
             [
                 1 if VECTORS[v].kind is VectorKind.REFLECTION else 0
                 for v in range(len(VECTORS))
             ]
         )
-        is_ra_vector = kinds[vectors] == 1
-        is_ra_class = classes == int(AttackClass.REFLECTION_AMPLIFICATION)
+        is_ra_vector = kinds[vectors[in_catalogue]] == 1
+        is_ra_class = (
+            classes[in_catalogue]
+            == int(AttackClass.REFLECTION_AMPLIFICATION)
+        )
         mismatched = int((is_ra_vector != is_ra_class).sum())
         if mismatched:
             report.errors.append(
                 f"{mismatched} records with class/vector kind mismatch"
             )
+    else:
+        report.warnings.append(
+            "class/vector consistency not checked (no in-catalogue vector ids)"
+        )
 
+    # Size checks are independent: a NaN-riddled feed must not mask
+    # negative sizes among the finite records (and vice versa).
     bps = observations.bps
-    if not np.isfinite(bps).all():
-        report.errors.append("non-finite attack sizes")
-    elif (bps < 0).any():
-        report.errors.append("negative attack sizes")
+    finite = np.isfinite(bps)
+    if not finite.all():
+        report.errors.append(
+            f"{int((~finite).sum())} non-finite attack sizes"
+        )
+    if (bps[finite] < 0).any():
+        report.errors.append(
+            f"{int((bps[finite] < 0).sum())} negative attack sizes"
+        )
 
     if expected_classes is not None:
         allowed = {int(attack_class) for attack_class in expected_classes}

@@ -6,10 +6,18 @@ import datetime as dt
 
 import pytest
 
+from repro.core.golden import small_pinned_config
 from repro.core.study import Study, StudyConfig
 from repro.net.plan import PlanConfig, build_internet_plan
 from repro.util.calendar import StudyCalendar
 from repro.util.rng import RngFactory
+
+
+def pytest_collection_modifyitems(items):
+    """Auto-apply the ``tier1`` marker to tests not in a slower tier."""
+    for item in items:
+        if not any(item.iter_markers(name) for name in ("conformance", "slow")):
+            item.add_marker(pytest.mark.tier1)
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -44,14 +52,18 @@ SMALL_CALENDAR = StudyCalendar(dt.date(2019, 1, 1), dt.date(2020, 4, 30))
 
 
 def small_study_config(seed: int = 0) -> StudyConfig:
-    """A fast study configuration for integration tests."""
-    return StudyConfig(
-        seed=seed,
-        calendar=SMALL_CALENDAR,
-        dp_per_day=40.0,
-        ra_per_day=30.0,
-        plan=PlanConfig(seed=seed, tail_as_count=120),
+    """A fast study configuration for integration tests.
+
+    Delegates to :func:`repro.core.golden.small_pinned_config` so the
+    tier-1 golden regression test pins the exact configuration the test
+    session simulates anyway (one simulation, two uses).
+    """
+    config = small_pinned_config(seed)
+    assert (config.calendar.start, config.calendar.end) == (
+        SMALL_CALENDAR.start,
+        SMALL_CALENDAR.end,
     )
+    return config
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,140 @@
+"""Tests for the paper-conformance engine.
+
+Tier-1 covers the engine mechanics (registry, gating, severities,
+rendering) against the shared small study; the full-window evaluation of
+every check against ``StudyConfig(seed=0)`` is in the ``conformance``
+tier (``make conformance``).
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.conformance import (
+    Check,
+    Outcome,
+    Severity,
+    Status,
+    all_checks,
+    evaluate_conformance,
+    register_check,
+)
+from repro.core.study import Study, StudyConfig
+
+
+def make_check(check_id="synthetic", ok=True, severity=Severity.ERROR, **gates):
+    return Check(
+        check_id=check_id,
+        anchor="Table 0",
+        claim="synthetic claim",
+        predicate=lambda view: Outcome(
+            ok=ok, measured="measured", expected="expected", delta=0.5
+        ),
+        severity=severity,
+        **gates,
+    )
+
+
+class TestRegistry:
+    def test_at_least_fifteen_checks(self):
+        assert len(all_checks()) >= 15
+
+    def test_ids_and_anchors_are_populated(self):
+        for check in all_checks():
+            assert check.check_id
+            assert check.anchor
+            assert check.claim
+
+    def test_anchors_cover_the_papers_artefacts(self):
+        anchors = {check.anchor for check in all_checks()}
+        for expected in ("Table 1", "Figure 5", "Figure 6", "Figure 7", "Table 2"):
+            assert expected in anchors
+
+    def test_duplicate_registration_rejected(self):
+        existing = all_checks()[0].check_id
+        with pytest.raises(ValueError, match="duplicate"):
+            register_check(existing, "Table 1", "again")(lambda view: None)
+
+
+class TestGating:
+    def test_horizon_checks_skip_on_short_windows(self, small_study):
+        report = evaluate_conformance(small_study)
+        result = report.result("T1.dp.orion.up")
+        assert result.status is Status.SKIP
+        assert "208 weeks" in result.note
+
+    def test_min_end_gate(self, small_study):
+        check = make_check(min_end=dt.date(2030, 1, 1))
+        report = evaluate_conformance(small_study, checks=[check])
+        assert report.result("synthetic").status is Status.SKIP
+        assert report.n_skip == 1
+
+    def test_applicable_checks_evaluate(self, small_study):
+        report = evaluate_conformance(small_study)
+        assert report.result("T2.floor-ratio").status is Status.PASS
+        assert report.n_pass > 0
+
+
+class TestReport:
+    def test_small_study_conforms(self, small_study):
+        report = small_study.conformance()
+        assert report.ok, report.render()
+        assert report.n_fail == 0
+        assert report.n_pass + report.n_skip == len(all_checks())
+
+    def test_error_failure_fails_the_report(self, small_study):
+        report = evaluate_conformance(small_study, checks=[make_check(ok=False)])
+        assert not report.ok
+        assert report.failures()[0].check.check_id == "synthetic"
+        assert "NON-CONFORMANT" in report.render()
+
+    def test_warn_failure_keeps_the_report_ok(self, small_study):
+        report = evaluate_conformance(
+            small_study, checks=[make_check(ok=False, severity=Severity.WARN)]
+        )
+        assert report.ok
+        assert report.n_fail == 1
+        assert "(warn)" in report.result("synthetic").line()
+
+    def test_failures_sorted_error_first(self, small_study):
+        report = evaluate_conformance(
+            small_study,
+            checks=[
+                make_check("warny", ok=False, severity=Severity.WARN),
+                make_check("erry", ok=False, severity=Severity.ERROR),
+            ],
+        )
+        assert [r.check.check_id for r in report.failures()] == ["erry", "warny"]
+
+    def test_unknown_id_lookup_raises(self, small_study):
+        report = evaluate_conformance(small_study, checks=[make_check()])
+        with pytest.raises(KeyError):
+            report.result("no-such-check")
+
+    def test_render_mentions_counts_and_window(self, small_study):
+        text = small_study.conformance().render()
+        assert "2019-01-01..2020-04-30" in text
+        assert f"{len(all_checks())} checks" in text
+        assert "[margin" in text  # drift deltas are shown
+
+
+@pytest.mark.conformance
+class TestFullWindowConformance:
+    """The acceptance run: every check against the paper's full window."""
+
+    @pytest.fixture(scope="class")
+    def full_study(self):
+        return Study(StudyConfig(seed=0), jobs=0)
+
+    def test_all_checks_pass(self, full_study):
+        report = full_study.conformance()
+        assert report.n_skip == 0, report.render()
+        assert report.n_fail == 0, report.render()
+        assert report.n_pass == len(all_checks())
+        assert report.ok
+
+    def test_full_window_golden_matches(self, full_study):
+        from repro.core.golden import verify_study
+
+        comparison = verify_study(full_study, "seed0-full")
+        assert comparison.status == "match", comparison.render()

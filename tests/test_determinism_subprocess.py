@@ -1,0 +1,66 @@
+"""Cross-process determinism: the same config in fresh interpreters.
+
+Same-process reruns cannot catch dependence on Python's per-process hash
+seed (set ordering, dict iteration over str keys) — a fresh interpreter
+with a *different* ``PYTHONHASHSEED`` can.  This runs a tiny study in two
+subprocesses with deliberately different hash seeds and requires the
+sha256 fingerprints of every derived array to agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+
+_SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+# The child builds a 16-week study (the smallest window the 15-week
+# normalisation baseline allows) and prints its fingerprints as JSON.
+_CHILD = """
+import datetime as dt
+import json
+
+from repro.core.golden import study_fingerprints
+from repro.core.study import Study, StudyConfig
+from repro.net.plan import PlanConfig
+from repro.util.calendar import StudyCalendar
+
+config = StudyConfig(
+    seed=11,
+    calendar=StudyCalendar(dt.date(2019, 1, 1), dt.date(2019, 4, 23)),
+    dp_per_day=12.0,
+    ra_per_day=9.0,
+    plan=PlanConfig(seed=11, tail_as_count=60),
+)
+study = Study(config, cache=False)
+print(json.dumps(study_fingerprints(study), sort_keys=True))
+"""
+
+
+def _run_child(hash_seed: str) -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (_SRC_DIR, env.get("PYTHONPATH")) if p
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", _CHILD],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+        timeout=300,
+    )
+    return json.loads(result.stdout)
+
+
+def test_fresh_interpreters_with_different_hash_seeds_agree():
+    first = _run_child("0")
+    second = _run_child("4242")
+    assert first == second
+    assert len(first) >= 14  # the full fingerprint set, not a stub

@@ -104,6 +104,86 @@ class TestValidation:
         report = validate_observations(feed([0]), SMALL_CALENDAR)
         assert "OK" in report.summary()
 
+    def test_empty_feed_skips_structural_checks(self):
+        report = validate_observations(Observations("empty"), SMALL_CALENDAR)
+        assert report.records == 0
+        assert report.warnings == ["feed is empty"]
+        assert report.errors == []
+
+    def test_all_duplicate_feed_warns_but_stays_usable(self):
+        observations = Observations("doubled-export")
+        for _ in range(10):
+            observations.append(
+                3,
+                np.asarray([7777], dtype=np.int64),
+                np.asarray([int(AttackClass.DIRECT_PATH)], dtype=np.int8),
+                np.asarray([vector_id("SYN-flood")], dtype=np.int16),
+                np.asarray([True]),
+                np.asarray([1e8]),
+            )
+        report = validate_observations(observations, SMALL_CALENDAR)
+        assert report.ok  # duplicates are a warning, not an error
+        assert any("90% same-day duplicate" in w for w in report.warnings)
+
+    def test_vector_id_boundaries(self):
+        # The extremes of the catalogue are valid; one past each end is not.
+        ra = int(AttackClass.REFLECTION_AMPLIFICATION)
+        dp = int(AttackClass.DIRECT_PATH)
+        classes = [
+            ra if VECTORS[v].kind.name == "REFLECTION" else dp
+            for v in (0, len(VECTORS) - 1)
+        ]
+        report = validate_observations(
+            feed([0, 1], vectors=[0, len(VECTORS) - 1], classes=classes),
+            SMALL_CALENDAR,
+        )
+        assert report.ok, report.summary()
+        for bad in (-1, len(VECTORS)):
+            report = validate_observations(
+                feed([0], vectors=[bad]), SMALL_CALENDAR
+            )
+            assert any("catalogue" in error for error in report.errors)
+
+    def test_range_error_does_not_mask_kind_mismatch(self):
+        # One out-of-catalogue id plus one in-catalogue mismatch: both the
+        # range error and the kind-mismatch error must be reported.
+        report = validate_observations(
+            feed(
+                [0, 1],
+                vectors=[len(VECTORS), vector_id("DNS")],
+                classes=[int(AttackClass.DIRECT_PATH)] * 2,
+            ),
+            SMALL_CALENDAR,
+        )
+        assert any("catalogue" in error for error in report.errors)
+        assert any("mismatch" in error for error in report.errors)
+
+    def test_no_checkable_vectors_warns_instead_of_silence(self):
+        report = validate_observations(
+            feed([0], vectors=[len(VECTORS)]), SMALL_CALENDAR
+        )
+        assert any("catalogue" in error for error in report.errors)
+        assert any(
+            "consistency not checked" in warning for warning in report.warnings
+        )
+
+    def test_nan_does_not_mask_negative_sizes(self):
+        report = validate_observations(
+            feed([0, 1], bps=[float("nan"), -5.0]), SMALL_CALENDAR
+        )
+        assert any("non-finite" in error for error in report.errors)
+        assert any("negative" in error for error in report.errors)
+
+    def test_expected_classes_warning_names_the_classes(self):
+        report = validate_observations(
+            feed([0]),
+            SMALL_CALENDAR,
+            expected_classes=(AttackClass.REFLECTION_AMPLIFICATION,),
+        )
+        assert report.ok
+        (warning,) = [w for w in report.warnings if "remit" in w]
+        assert str(int(AttackClass.DIRECT_PATH)) in warning
+
 
 class TestStudySelfCheck:
     def test_simulated_feeds_validate(self, small_study):
