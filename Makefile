@@ -1,6 +1,6 @@
 # Convenience targets for the DDoScovery reproduction.
 
-.PHONY: install test test-fast conformance ci bench bench-perf examples artefacts clean
+.PHONY: install test test-fast conformance ci bench bench-perf profile examples artefacts clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -28,6 +28,11 @@ bench:
 
 bench-perf:
 	pytest benchmarks/test_perf_pipeline.py benchmarks/test_perf_parallel.py --benchmark-only
+
+# Regenerate the checked-in full-window profile baseline (cache bypassed,
+# so the simulation itself is measured; see docs/OBSERVABILITY.md).
+profile:
+	PYTHONPATH=src python -m repro.cli profile --seed 0 --out benchmarks/results/PROFILE_seed0.txt
 
 examples:
 	python examples/quickstart.py

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.attacks.events import OBSERVATORY_KEYS, AttackClass
 from repro.attacks.vectors import vector_id
+from repro.obs import span
 from repro.util.calendar import StudyCalendar
 from repro.util.rng import RngFactory
 
@@ -85,14 +86,22 @@ class CampaignModel:
         self.calendar = calendar
         self.config = config or CampaignConfig()
         self.campaigns: list[Campaign] = []
-        self._spawn_random(rng_factory, candidate_asns or [])
-        self._add_scripted(candidate_asns or [])
-        self._by_day: list[list[Campaign]] = [[] for _ in range(calendar.n_days)]
-        for campaign in self.campaigns:
-            first = max(0, campaign.start_day)
-            last = min(calendar.n_days, campaign.start_day + campaign.duration_days)
-            for day in range(first, last):
-                self._by_day[day].append(campaign)
+        # Span only, no counters: the model is memoised per process, so the
+        # build runs a process-dependent number of times and counters here
+        # would break the jobs-invariance of the merged metrics.
+        with span("campaigns.build"):
+            self._spawn_random(rng_factory, candidate_asns or [])
+            self._add_scripted(candidate_asns or [])
+            self._by_day: list[list[Campaign]] = [
+                [] for _ in range(calendar.n_days)
+            ]
+            for campaign in self.campaigns:
+                first = max(0, campaign.start_day)
+                last = min(
+                    calendar.n_days, campaign.start_day + campaign.duration_days
+                )
+                for day in range(first, last):
+                    self._by_day[day].append(campaign)
 
     def _draw_bias(self, rng: np.random.Generator) -> dict[str, float]:
         """Per-observatory visibility multipliers for one campaign."""

@@ -50,6 +50,7 @@ from repro.attacks.landscape import LandscapeModel
 from repro.attacks.vectors import VECTORS, VectorKind, vector_ids
 from repro.net.asn import ASKind
 from repro.net.plan import InternetPlan
+from repro.obs import counter, histogram, span
 from repro.util.calendar import SECONDS_PER_DAY, StudyCalendar
 from repro.util.rng import RngFactory
 
@@ -259,45 +260,62 @@ class GroundTruthGenerator:
         not depend on which other days were generated first; only the
         victim recurrence pool carries state between consecutive days.
         """
-        rng = self._rng = self._factory.stream(f"attacks/generator/day/{day}")
-        week = self.calendar.week_of_day(day)
-        active = self.campaigns.active(day)
+        with span("generate.day"):
+            rng = self._rng = self._factory.stream(f"attacks/generator/day/{day}")
+            week = self.calendar.week_of_day(day)
+            active = self.campaigns.active(day)
 
-        class_rows: list[dict] = []
-        for attack_class in AttackClass:
-            base = self.landscape.expected_count(attack_class, day)
-            base *= self._weekly_noise[attack_class][week]
-            class_campaigns = [
-                campaign for campaign in active if campaign.attack_class is attack_class
+            class_rows: list[dict] = []
+            for attack_class in AttackClass:
+                base = self.landscape.expected_count(attack_class, day)
+                base *= self._weekly_noise[attack_class][week]
+                class_campaigns = [
+                    campaign for campaign in active if campaign.attack_class is attack_class
+                ]
+                expected_extra = base * sum(c.intensity for c in class_campaigns)
+                n_base = int(rng.poisson(base))
+                class_rows.append(
+                    {
+                        "attack_class": attack_class,
+                        "count": n_base,
+                        "campaign": None,
+                    }
+                )
+                for campaign in class_campaigns:
+                    n_extra = int(rng.poisson(base * campaign.intensity))
+                    if n_extra:
+                        class_rows.append(
+                            {
+                                "attack_class": attack_class,
+                                "count": n_extra,
+                                "campaign": campaign,
+                            }
+                        )
+                del expected_extra
+
+            segments = [
+                self._make_segment(day, row["attack_class"], row["count"], row["campaign"])
+                for row in class_rows
+                if row["count"] > 0
             ]
-            expected_extra = base * sum(c.intensity for c in class_campaigns)
-            n_base = int(rng.poisson(base))
-            class_rows.append(
-                {
-                    "attack_class": attack_class,
-                    "count": n_base,
-                    "campaign": None,
-                }
-            )
-            for campaign in class_campaigns:
-                n_extra = int(rng.poisson(base * campaign.intensity))
-                if n_extra:
-                    class_rows.append(
-                        {
-                            "attack_class": attack_class,
-                            "count": n_extra,
-                            "campaign": campaign,
-                        }
-                    )
-            del expected_extra
+            segments.extend(self._cross_type_partners(day, segments))
+            batch = self._assemble(day, segments)
+        self._count_batch(batch)
+        return batch
 
-        segments = [
-            self._make_segment(day, row["attack_class"], row["count"], row["campaign"])
-            for row in class_rows
-            if row["count"] > 0
-        ]
-        segments.extend(self._cross_type_partners(day, segments))
-        return self._assemble(day, segments)
+    def _count_batch(self, batch: DayBatch) -> None:
+        """Per-day pipeline metrics (pure accounting; no RNG touched)."""
+        counter("generate.days").inc()
+        histogram("generate.batch_events").observe(float(len(batch)))
+        if not len(batch):
+            return
+        n_dp = int(batch.is_direct_path.sum())
+        counter("generate.events", cls="DP").inc(n_dp)
+        counter("generate.events", cls="RA").inc(len(batch) - n_dp)
+        counter("generate.events.carpet").inc(int(batch.carpet.sum()))
+        counter("generate.events.multi_vector").inc(
+            int((batch.secondary_vector_id >= 0).sum())
+        )
 
     # -- segment synthesis ----------------------------------------------------
 
@@ -311,6 +329,8 @@ class GroundTruthGenerator:
         """Sample ``count`` events of one class (optionally one campaign)."""
         rng = self._rng
         config = self.config
+        if campaign is not None:
+            counter("generate.campaign_events").inc(count)
 
         targets, asns = self._draw_targets(count, campaign)
         start = day * SECONDS_PER_DAY + np.sort(rng.random(count)) * SECONDS_PER_DAY
@@ -513,6 +533,7 @@ class GroundTruthGenerator:
             partner["pps"] = partner["pps"] * scale
             partner["bps"] = partner["bps"] * scale
             partners.append(partner)
+            counter("generate.partner_events").inc(len(indices))
         return partners
 
     # -- assembly --------------------------------------------------------------

@@ -11,17 +11,27 @@ Subcommands:
 ``ddoscovery sensitivity``
     Print telescope detection floors for a given prefix length.
 ``ddoscovery cache``
-    Inspect or clear the on-disk simulation cache.
+    Inspect or clear the on-disk simulation cache (``info`` includes
+    lifetime hit/miss counters and the hit rate).
 ``ddoscovery conformance``
     Evaluate the paper-conformance check registry and the golden
     fingerprints; ``--update-goldens`` refreshes the pins after an
     intentional model change.
+``ddoscovery profile``
+    Run the pipeline under the span tracer and print the hottest phases
+    (sorted by self time).
+
+``run``, ``landscape``, ``conformance``, and ``profile`` accept
+``--trace OUT.json`` (write a run manifest: config fingerprint, schema
+versions, host info, span tree, metrics) and ``--metrics`` (print the
+merged metrics table to stderr) — see ``docs/OBSERVABILITY.md``.
 
 Examples::
 
     ddoscovery run --weeks 80 --artefact F7 F5
     ddoscovery run --seed 3 --out results/ --jobs 4
     ddoscovery run --no-cache --artefact T1
+    ddoscovery run --trace manifest.json --metrics --artefact T1
     ddoscovery survey
     ddoscovery sensitivity --prefix-length 20
     ddoscovery cache info
@@ -29,6 +39,7 @@ Examples::
     ddoscovery conformance
     ddoscovery conformance --out benchmarks/results/CONFORMANCE.txt
     ddoscovery conformance --pinned seed0-small --update-goldens
+    ddoscovery profile --weeks 52 --top 15
 """
 
 from __future__ import annotations
@@ -38,9 +49,27 @@ import datetime as dt
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.core import report as report_module
 from repro.core.study import Study, StudyConfig
 from repro.util.calendar import STUDY_CALENDAR, StudyCalendar
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace`` / ``--metrics`` flags."""
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="OUT.json",
+        help="write a run manifest (span tree, metrics, config fingerprint, "
+        "host info) as JSON",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the merged pipeline metrics to stderr after the run",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -101,6 +130,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
+    _add_observability_arguments(run)
 
     commands.add_parser("survey", help="industry-report survey (Section 3)")
 
@@ -109,6 +139,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     landscape.add_argument("--seed", type=int, default=0)
     landscape.add_argument("--weeks", type=int, default=26)
+    _add_observability_arguments(landscape)
 
     sensitivity = commands.add_parser(
         "sensitivity", help="telescope detection floors"
@@ -193,6 +224,49 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the report to a file "
         "(e.g. benchmarks/results/CONFORMANCE.txt)",
     )
+    _add_observability_arguments(conformance)
+
+    profile = commands.add_parser(
+        "profile",
+        help="run the pipeline under the tracer and print the hottest phases",
+    )
+    profile.add_argument("--seed", type=int, default=0, help="study seed")
+    profile.add_argument(
+        "--weeks",
+        type=int,
+        default=None,
+        help="shorten the window to N weeks (default: full 234)",
+    )
+    profile.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="simulation worker processes (default 1: self time is "
+        "attributed in-process; 0 = one per CPU)",
+    )
+    profile.add_argument(
+        "--cached",
+        action="store_true",
+        help="allow the on-disk result cache (default: bypass it, so the "
+        "simulation itself is measured)",
+    )
+    profile.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=20, help="rows in the self-time table"
+    )
+    profile.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write the profile report to a file "
+        "(e.g. benchmarks/results/PROFILE_seed0.txt)",
+    )
+    _add_observability_arguments(profile)
 
     return parser
 
@@ -206,6 +280,30 @@ def _calendar_for(weeks: int | None) -> StudyCalendar:
     return StudyCalendar(start, start + dt.timedelta(days=weeks * 7))
 
 
+def _observed_command(args: argparse.Namespace, command: str, config, body) -> int:
+    """Run ``body()`` in a fresh observability context; honour the shared
+    ``--trace`` / ``--metrics`` flags.
+
+    Every invocation collects into its own registry and tracer (so
+    repeated ``main()`` calls in one process — the test suite — never
+    bleed metrics into each other); the manifest is built from exactly
+    what this command recorded.
+    """
+    trace_path = getattr(args, "trace", None)
+    with obs.collecting() as registry, obs.tracing() as tracer:
+        with obs.span(f"cli.{command}"):
+            code = body()
+        manifest = obs.build_manifest(
+            command, config=config, registry=registry, tracer=tracer
+        )
+    if getattr(args, "metrics", False):
+        print(obs.render_metrics(registry.summary()), file=sys.stderr)
+    if trace_path is not None:
+        obs.write_manifest(trace_path, manifest)
+        print(f"wrote {trace_path}", file=sys.stderr)
+    return code
+
+
 def _command_run(args: argparse.Namespace) -> int:
     if args.shard_days is not None and args.shard_days <= 0:
         raise SystemExit("--shard-days must be positive")
@@ -215,41 +313,48 @@ def _command_run(args: argparse.Namespace) -> int:
         dp_per_day=args.dp_per_day,
         ra_per_day=args.ra_per_day,
     )
-    study = Study(
-        config,
-        jobs=args.jobs,
-        shard_days=args.shard_days,
-        cache=False if args.no_cache else None,
-        cache_dir=args.cache_dir,
-    )
-    print(
-        f"simulating {study.calendar.start} .. {study.calendar.end} "
-        f"(seed {config.seed}) ...",
-        file=sys.stderr,
-    )
-    study.observations
 
-    available = dict(report_module.RENDERERS)
-    available["T3"] = lambda _study: report_module.render_table3()
-    available["S3"] = lambda _study: report_module.render_industry_survey()
-    available["S73"] = report_module.render_section73
-    wanted = args.artefact or list(available)
-    unknown = [key for key in wanted if key not in available]
-    if unknown:
-        raise SystemExit(
-            f"unknown artefacts: {unknown}; available: {sorted(available)}"
+    def body() -> int:
+        study = Study(
+            config,
+            jobs=args.jobs,
+            shard_days=args.shard_days,
+            cache=False if args.no_cache else None,
+            cache_dir=args.cache_dir,
         )
-    for key in wanted:
-        text = available[key](study)
-        if args.out is not None:
-            args.out.mkdir(parents=True, exist_ok=True)
-            (args.out / f"{key}.txt").write_text(text + "\n", encoding="utf-8")
-            print(f"wrote {args.out / f'{key}.txt'}", file=sys.stderr)
-        else:
-            print("=" * 72)
-            print(text)
-            print()
-    return 0
+        print(
+            f"simulating {study.calendar.start} .. {study.calendar.end} "
+            f"(seed {config.seed}) ...",
+            file=sys.stderr,
+        )
+        study.observations
+
+        available = dict(report_module.RENDERERS)
+        available["T3"] = lambda _study: report_module.render_table3()
+        available["S3"] = lambda _study: report_module.render_industry_survey()
+        available["S73"] = report_module.render_section73
+        wanted = args.artefact or list(available)
+        unknown = [key for key in wanted if key not in available]
+        if unknown:
+            raise SystemExit(
+                f"unknown artefacts: {unknown}; available: {sorted(available)}"
+            )
+        with obs.span("cli.render"):
+            for key in wanted:
+                text = available[key](study)
+                if args.out is not None:
+                    args.out.mkdir(parents=True, exist_ok=True)
+                    (args.out / f"{key}.txt").write_text(
+                        text + "\n", encoding="utf-8"
+                    )
+                    print(f"wrote {args.out / f'{key}.txt'}", file=sys.stderr)
+                else:
+                    print("=" * 72)
+                    print(text)
+                    print()
+        return 0
+
+    return _observed_command(args, "run", config, body)
 
 
 def _command_survey(_: argparse.Namespace) -> int:
@@ -268,41 +373,45 @@ def _command_landscape(args: argparse.Namespace) -> int:
     from repro.util.rng import RngFactory
 
     calendar = _calendar_for(args.weeks)
-    plan = build_internet_plan(PlanConfig(seed=args.seed))
-    factory = RngFactory(args.seed)
-    landscape = LandscapeModel(calendar, dp_per_day=90.0, ra_per_day=70.0)
-    campaigns = CampaignModel(
-        calendar,
-        factory,
-        candidate_asns=[i.asn for i in plan.ases if i.target_weight > 0],
-    )
-    generator = GroundTruthGenerator(
-        plan, calendar, landscape, campaigns, rng_factory=factory
-    )
 
-    total = dp = ra = carpet = multi = 0
-    vector_counts: dict[str, int] = {}
-    for batch in generator.batches():
-        total += len(batch)
-        dp += int(batch.is_direct_path.sum())
-        ra += int(batch.is_reflection.sum())
-        carpet += int(batch.carpet.sum())
-        multi += int((batch.secondary_vector_id >= 0).sum())
-        for vector_id in batch.vector_id.tolist():
-            name = VECTORS[vector_id].name
-            vector_counts[name] = vector_counts.get(name, 0) + 1
+    def body() -> int:
+        plan = build_internet_plan(PlanConfig(seed=args.seed))
+        factory = RngFactory(args.seed)
+        landscape = LandscapeModel(calendar, dp_per_day=90.0, ra_per_day=70.0)
+        campaigns = CampaignModel(
+            calendar,
+            factory,
+            candidate_asns=[i.asn for i in plan.ases if i.target_weight > 0],
+        )
+        generator = GroundTruthGenerator(
+            plan, calendar, landscape, campaigns, rng_factory=factory
+        )
 
-    print(f"ground truth over {calendar.n_weeks} weeks (seed {args.seed}):")
-    print(f"  attacks           {total}")
-    print(f"  direct-path       {dp} ({dp / total * 100:.1f}%)")
-    print(f"  reflection-ampl.  {ra} ({ra / total * 100:.1f}%)")
-    print(f"  carpet-bombing    {carpet} ({carpet / total * 100:.1f}%)")
-    print(f"  multi-vector      {multi} ({multi / total * 100:.1f}%)")
-    print(f"  campaigns         {len(campaigns)}")
-    print("\nvector mix:")
-    for name, count in sorted(vector_counts.items(), key=lambda kv: -kv[1]):
-        print(f"  {name:12s} {count:7d} ({count / total * 100:5.1f}%)")
-    return 0
+        total = dp = ra = carpet = multi = 0
+        vector_counts: dict[str, int] = {}
+        for batch in generator.batches():
+            total += len(batch)
+            dp += int(batch.is_direct_path.sum())
+            ra += int(batch.is_reflection.sum())
+            carpet += int(batch.carpet.sum())
+            multi += int((batch.secondary_vector_id >= 0).sum())
+            for vector_id in batch.vector_id.tolist():
+                name = VECTORS[vector_id].name
+                vector_counts[name] = vector_counts.get(name, 0) + 1
+
+        print(f"ground truth over {calendar.n_weeks} weeks (seed {args.seed}):")
+        print(f"  attacks           {total}")
+        print(f"  direct-path       {dp} ({dp / total * 100:.1f}%)")
+        print(f"  reflection-ampl.  {ra} ({ra / total * 100:.1f}%)")
+        print(f"  carpet-bombing    {carpet} ({carpet / total * 100:.1f}%)")
+        print(f"  multi-vector      {multi} ({multi / total * 100:.1f}%)")
+        print(f"  campaigns         {len(campaigns)}")
+        print("\nvector mix:")
+        for name, count in sorted(vector_counts.items(), key=lambda kv: -kv[1]):
+            print(f"  {name:12s} {count:7d} ({count / total * 100:5.1f}%)")
+        return 0
+
+    return _observed_command(args, "landscape", None, body)
 
 
 def _command_sensitivity(args: argparse.Namespace) -> int:
@@ -337,9 +446,22 @@ def _command_cache(args: argparse.Namespace) -> int:
               f"from {cache.root}")
         return 0
     entries = cache.entries()
+    stats = cache.stats()
+    hit_rate = cache.hit_rate()
     print(f"cache root: {cache.root}")
     print(f"entries   : {len(entries)}")
     print(f"total size: {cache.total_bytes() / 1e6:.1f} MB")
+    print(f"hits      : {stats['hits']}")
+    print(f"misses    : {stats['misses']}")
+    print(
+        "hit rate  : "
+        + ("n/a (no lookups yet)" if hit_rate is None else f"{hit_rate * 100:.1f}%")
+    )
+    print(f"stores    : {stats['stores']}")
+    print(
+        f"traffic   : {stats['bytes_read'] / 1e6:.1f} MB read, "
+        f"{stats['bytes_written'] / 1e6:.1f} MB written"
+    )
     for path in entries:
         print(f"  {path.name}  ({path.stat().st_size / 1e6:.1f} MB)")
     return 0
@@ -370,40 +492,94 @@ def _command_conformance(args: argparse.Namespace) -> int:
             else f"seed{args.seed}-{args.weeks}w"
         )
 
-    study = Study(
-        config,
-        jobs=args.jobs,
-        cache=False if args.no_cache else None,
-        cache_dir=args.cache_dir,
-    )
-    print(
-        f"simulating {study.calendar.start} .. {study.calendar.end} "
-        f"(seed {config.seed}) ...",
-        file=sys.stderr,
-    )
-
-    report = study.conformance()
-    sections = [report.render()]
-    ok = report.ok
-
-    if args.update_goldens:
-        store = GoldenStore(args.golden_dir)
-        path = store.save(golden_name, golden_payload(study, golden_name))
-        sections.append(f"golden '{golden_name}': updated ({path})")
-    elif not args.skip_goldens:
-        comparison = verify_study(
-            study, golden_name, GoldenStore(args.golden_dir)
+    def body() -> int:
+        study = Study(
+            config,
+            jobs=args.jobs,
+            cache=False if args.no_cache else None,
+            cache_dir=args.cache_dir,
         )
-        sections.append(comparison.render())
-        ok = ok and comparison.ok
+        print(
+            f"simulating {study.calendar.start} .. {study.calendar.end} "
+            f"(seed {config.seed}) ...",
+            file=sys.stderr,
+        )
 
-    text = "\n\n".join(sections)
+        report = study.conformance()
+        sections = [report.render()]
+        ok = report.ok
+
+        if args.update_goldens:
+            store = GoldenStore(args.golden_dir)
+            path = store.save(golden_name, golden_payload(study, golden_name))
+            sections.append(f"golden '{golden_name}': updated ({path})")
+        elif not args.skip_goldens:
+            comparison = verify_study(
+                study, golden_name, GoldenStore(args.golden_dir)
+            )
+            sections.append(comparison.render())
+            ok = ok and comparison.ok
+
+        text = "\n\n".join(sections)
+        print(text)
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(text + "\n", encoding="utf-8")
+            print(f"wrote {args.out}", file=sys.stderr)
+        return 0 if ok else 1
+
+    return _observed_command(args, "conformance", config, body)
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    config = StudyConfig(seed=args.seed, calendar=_calendar_for(args.weeks))
+    trace_path = getattr(args, "trace", None)
+
+    with obs.collecting() as registry, obs.tracing() as tracer:
+        with obs.span("cli.profile"):
+            study = Study(
+                config,
+                jobs=args.jobs,
+                # Bypass the cache by default: a cache hit would profile
+                # deserialization, not the pipeline.
+                cache=True if args.cached else False,
+                cache_dir=args.cache_dir,
+            )
+            print(
+                f"profiling {study.calendar.start} .. {study.calendar.end} "
+                f"(seed {config.seed}, jobs {args.jobs}) ...",
+                file=sys.stderr,
+            )
+            study.observations
+            study.main_series()
+            study.table1()
+            study.figure5()
+            study.figure6()
+            study.figure7()
+        manifest = obs.build_manifest(
+            "profile", config=config, registry=registry, tracer=tracer
+        )
+
+    lines = [
+        f"profile: seed {config.seed}, "
+        f"{study.calendar.start}..{study.calendar.end} "
+        f"({study.calendar.n_weeks} weeks), jobs {args.jobs}, "
+        f"cache {'on' if args.cached else 'off'}",
+        "",
+        obs.render_profile(tracer.root, top=args.top),
+        "",
+        obs.render_metrics(registry.summary()),
+    ]
+    text = "\n".join(lines)
     print(text)
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(text + "\n", encoding="utf-8")
         print(f"wrote {args.out}", file=sys.stderr)
-    return 0 if ok else 1
+    if trace_path is not None:
+        obs.write_manifest(trace_path, manifest)
+        print(f"wrote {trace_path}", file=sys.stderr)
+    return 0
 
 
 _COMMANDS = {
@@ -413,6 +589,7 @@ _COMMANDS = {
     "sensitivity": _command_sensitivity,
     "cache": _command_cache,
     "conformance": _command_conformance,
+    "profile": _command_profile,
 }
 
 

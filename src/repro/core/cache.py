@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.attacks.events import AttackClass
 from repro.core.io import pack_observations, unpack_observations
+from repro.obs import counter, span
 from repro.observatories.base import Observations
 from repro.util.calendar import StudyCalendar
 
@@ -49,6 +50,12 @@ CACHE_SCHEMA_VERSION = 2
 
 _META_KEY = "__meta__"
 _TRUTH_PREFIX = "truth::"
+
+#: Persistent cache-activity counters, kept next to the entries so
+#: ``ddoscovery cache info`` can report hit rates across processes.
+STATS_FILE = "stats.json"
+
+_STATS_KEYS = ("hits", "misses", "stores", "bytes_read", "bytes_written")
 
 
 def default_cache_dir() -> Path:
@@ -142,35 +149,40 @@ class StudyCache:
         unusable (caching is best-effort; the simulation result is already
         in memory).
         """
-        items = pack_observations(sinks)
-        for attack_class, weekly in ground_truth.items():
-            items[f"{_TRUTH_PREFIX}{int(attack_class)}"] = np.asarray(
-                weekly, dtype=np.float64
+        with span("cache.store"):
+            items = pack_observations(sinks)
+            for attack_class, weekly in ground_truth.items():
+                items[f"{_TRUTH_PREFIX}{int(attack_class)}"] = np.asarray(
+                    weekly, dtype=np.float64
+                )
+            items[_META_KEY] = np.array(
+                json.dumps(
+                    {
+                        "schema": CACHE_SCHEMA_VERSION,
+                        "fingerprint": fingerprint,
+                        "observatories": sorted(sinks),
+                    }
+                )
             )
-        items[_META_KEY] = np.array(
-            json.dumps(
-                {
-                    "schema": CACHE_SCHEMA_VERSION,
-                    "fingerprint": fingerprint,
-                    "observatories": sorted(sinks),
-                }
-            )
-        )
-        path = self.path_for(fingerprint)
-        try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                prefix=path.stem, suffix=".tmp", dir=self.root
-            )
+            path = self.path_for(fingerprint)
             try:
-                with os.fdopen(fd, "wb") as handle:
-                    np.savez(handle, **items)
-                os.replace(tmp_name, path)
-            except BaseException:
-                os.unlink(tmp_name)
-                raise
-        except OSError:
-            return None
+                self.root.mkdir(parents=True, exist_ok=True)
+                fd, tmp_name = tempfile.mkstemp(
+                    prefix=path.stem, suffix=".tmp", dir=self.root
+                )
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        np.savez(handle, **items)
+                    os.replace(tmp_name, path)
+                except BaseException:
+                    os.unlink(tmp_name)
+                    raise
+            except OSError:
+                return None
+            written = path.stat().st_size
+            counter("cache.stores").inc()
+            counter("cache.bytes_written").inc(written)
+            self._record(stores=1, bytes_written=written)
         return path
 
     def load(
@@ -182,26 +194,85 @@ class StudyCache:
         fingerprint mismatch, bad column shapes — is a miss.
         """
         path = self.path_for(fingerprint)
-        try:
-            with np.load(path, allow_pickle=False) as data:
-                meta = json.loads(str(data[_META_KEY]))
-                if meta.get("schema") != CACHE_SCHEMA_VERSION:
-                    return None
-                if meta.get("fingerprint") != fingerprint:
-                    return None
-                sinks = unpack_observations(data)
-                if sorted(sinks) != meta.get("observatories"):
-                    return None
-                ground_truth = {
-                    attack_class: np.asarray(
-                        data[f"{_TRUTH_PREFIX}{int(attack_class)}"],
-                        dtype=np.float64,
-                    )
-                    for attack_class in AttackClass
-                }
-        except Exception:  # noqa: BLE001 - any unreadable entry is a miss
-            return None
+        with span("cache.load"):
+            try:
+                with np.load(path, allow_pickle=False) as data:
+                    meta = json.loads(str(data[_META_KEY]))
+                    if meta.get("schema") != CACHE_SCHEMA_VERSION:
+                        return self._miss()
+                    if meta.get("fingerprint") != fingerprint:
+                        return self._miss()
+                    sinks = unpack_observations(data)
+                    if sorted(sinks) != meta.get("observatories"):
+                        return self._miss()
+                    ground_truth = {
+                        attack_class: np.asarray(
+                            data[f"{_TRUTH_PREFIX}{int(attack_class)}"],
+                            dtype=np.float64,
+                        )
+                        for attack_class in AttackClass
+                    }
+            except Exception:  # noqa: BLE001 - any unreadable entry is a miss
+                return self._miss()
+            read = path.stat().st_size
+            counter("cache.hits").inc()
+            counter("cache.bytes_read").inc(read)
+            self._record(hits=1, bytes_read=read)
         return sinks, ground_truth
+
+    def _miss(self) -> None:
+        """Record one cache miss (helper so every miss path counts it)."""
+        counter("cache.misses").inc()
+        self._record(misses=1)
+        return None
+
+    # -- persistent activity stats ----------------------------------------------
+
+    @property
+    def stats_path(self) -> Path:
+        """The on-disk activity counters next to the entries."""
+        return self.root / STATS_FILE
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime hit/miss/store counters (zeros when never recorded)."""
+        try:
+            raw = json.loads(self.stats_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            raw = {}
+        return {key: int(raw.get(key, 0)) for key in _STATS_KEYS}
+
+    def hit_rate(self) -> float | None:
+        """Lifetime hit rate, or ``None`` before any lookup happened."""
+        stats = self.stats()
+        lookups = stats["hits"] + stats["misses"]
+        if lookups == 0:
+            return None
+        return stats["hits"] / lookups
+
+    def _record(self, **deltas: int) -> None:
+        """Best-effort bump of the persistent counters (atomic rewrite).
+
+        Concurrent writers can lose each other's increments — the stats
+        are operational telemetry, never correctness-bearing — and any
+        I/O failure is swallowed just like a cache write failure.
+        """
+        try:
+            updated = self.stats()
+            for key, delta in deltas.items():
+                updated[key] = updated.get(key, 0) + int(delta)
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix="stats", suffix=".tmp", dir=self.root
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(updated, handle, sort_keys=True)
+                os.replace(tmp_name, self.stats_path)
+            except BaseException:
+                os.unlink(tmp_name)
+                raise
+        except OSError:
+            pass
 
     # -- maintenance ------------------------------------------------------------
 
@@ -212,7 +283,8 @@ class StudyCache:
         return sorted(self.root.glob("study-*.npz"))
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry (and the activity stats); returns the
+        number of entries removed."""
         removed = 0
         for path in self.entries():
             try:
@@ -220,6 +292,10 @@ class StudyCache:
                 removed += 1
             except OSError:
                 continue
+        try:
+            self.stats_path.unlink()
+        except OSError:
+            pass
         return removed
 
     def total_bytes(self) -> int:

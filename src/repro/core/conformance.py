@@ -304,28 +304,33 @@ def evaluate_conformance(
     study: "Study", checks: Iterable[Check] | None = None
 ) -> ConformanceReport:
     """Evaluate the registry (or a subset) against a study."""
-    view = StudyView(study)
-    report = ConformanceReport(
-        study_window=f"{study.calendar.start}..{study.calendar.end}",
-        seed=study.config.seed,
-    )
-    for check in checks if checks is not None else all_checks():
-        reason = check.applicable(study)
-        if reason is not None:
-            report.results.append(
-                CheckResult(check=check, status=Status.SKIP, note=reason)
-            )
-            continue
-        outcome = check.predicate(view)
-        report.results.append(
-            CheckResult(
-                check=check,
-                status=Status.PASS if outcome.ok else Status.FAIL,
-                measured=outcome.measured,
-                expected=outcome.expected,
-                delta=outcome.delta,
-            )
+    from repro.obs import counter, span
+
+    with span("conformance.evaluate"):
+        view = StudyView(study)
+        report = ConformanceReport(
+            study_window=f"{study.calendar.start}..{study.calendar.end}",
+            seed=study.config.seed,
         )
+        for check in checks if checks is not None else all_checks():
+            reason = check.applicable(study)
+            if reason is not None:
+                report.results.append(
+                    CheckResult(check=check, status=Status.SKIP, note=reason)
+                )
+                continue
+            outcome = check.predicate(view)
+            report.results.append(
+                CheckResult(
+                    check=check,
+                    status=Status.PASS if outcome.ok else Status.FAIL,
+                    measured=outcome.measured,
+                    expected=outcome.expected,
+                    delta=outcome.delta,
+                )
+            )
+        for result in report.results:
+            counter("conformance.checks", status=result.status.name.lower()).inc()
     return report
 
 

@@ -106,6 +106,13 @@ def study_fingerprints(study: "Study") -> dict[str, str]:
     slopes, both Figure-6 correlation matrices, and the per-class weekly
     ground truth — the arrays every downstream artefact derives from.
     """
+    from repro.obs import span
+
+    with span("conformance.fingerprints"):
+        return _study_fingerprints(study)
+
+
+def _study_fingerprints(study: "Study") -> dict[str, str]:
     fingerprints: dict[str, str] = {}
     series = study.main_series()
     for label, weekly in series.items():

@@ -46,6 +46,7 @@ from repro.core.trends import TrendClassification, classify_trend
 from repro.core.visibility import AsRow, HighlyVisible, highly_visible, top_target_ases
 from repro.industry.survey import TrendCounts, trend_counts
 from repro.net.plan import InternetPlan, PlanConfig, build_internet_plan
+from repro.obs import span
 from repro.observatories.base import Observations, SeriesKey
 from repro.observatories.registry import (
     ACADEMIC_OBSERVATORIES,
@@ -285,19 +286,20 @@ class Study:
 
     def main_series(self) -> dict[str, WeeklySeries]:
         """The ten main series in the paper's display order."""
-        ordered: dict[str, WeeklySeries] = {}
-        for key in MAIN_SERIES_ORDER:
-            weekly = self.series(key)
-            # Telescopes are single-class platforms; label them plainly.
-            label = (
-                key.observatory
-                if key.observatory in ("UCSD", "ORION")
-                else key.label
-            )
-            ordered[label] = WeeklySeries(
-                label=label, counts=weekly.counts, calendar=self.calendar
-            )
-        return ordered
+        with span("analysis.timeseries"):
+            ordered: dict[str, WeeklySeries] = {}
+            for key in MAIN_SERIES_ORDER:
+                weekly = self.series(key)
+                # Telescopes are single-class platforms; label them plainly.
+                label = (
+                    key.observatory
+                    if key.observatory in ("UCSD", "ORION")
+                    else key.label
+                )
+                ordered[label] = WeeklySeries(
+                    label=label, counts=weekly.counts, calendar=self.calendar
+                )
+            return ordered
 
     def _class_series(self, attack_class: AttackClass) -> dict[str, WeeklySeries]:
         out: dict[str, WeeklySeries] = {}
@@ -319,10 +321,11 @@ class Study:
     @cached_property
     def academic_target_sets(self) -> dict[str, set[TargetTuple]]:
         """(day, IP) tuples of the four academic observatories (Section 7)."""
-        return {
-            name: self.observations[name].target_tuples()
-            for name in ACADEMIC_OBSERVATORIES
-        }
+        with span("analysis.targets"):
+            return {
+                name: self.observations[name].target_tuples()
+                for name in ACADEMIC_OBSERVATORIES
+            }
 
     @cached_property
     def academic_universe(self) -> set[TargetTuple]:
@@ -366,17 +369,22 @@ class Study:
     def figure6(self) -> CorrelationFigure:
         """Pairwise correlation matrices with p-values (Figure 6)."""
         series = self.main_series()
-        normalized = {label: weekly.normalized for label, weekly in series.items()}
-        smoothed = {label: weekly.smoothed for label, weekly in series.items()}
-        return CorrelationFigure(
-            normalized=correlation_matrix(normalized, "spearman"),
-            smoothed=correlation_matrix(smoothed, "spearman"),
-            pearson_normalized=correlation_matrix(normalized, "pearson"),
-        )
+        with span("analysis.correlation"):
+            normalized = {
+                label: weekly.normalized for label, weekly in series.items()
+            }
+            smoothed = {label: weekly.smoothed for label, weekly in series.items()}
+            return CorrelationFigure(
+                normalized=correlation_matrix(normalized, "spearman"),
+                smoothed=correlation_matrix(smoothed, "spearman"),
+                pearson_normalized=correlation_matrix(normalized, "pearson"),
+            )
 
     def figure7(self) -> UpsetResult:
         """UpSet decomposition of academic target tuples (Figure 7)."""
-        return upset(self.academic_target_sets)
+        target_sets = self.academic_target_sets
+        with span("analysis.targets.upset"):
+            return upset(target_sets)
 
     def figure8(self) -> HighlyVisible:
         """Highly-visible targets over time (Figure 8)."""
@@ -431,16 +439,17 @@ class Study:
     def figure14(self) -> QuarterlyCorrelationFigure:
         """Quarterly pairwise correlation distributions (Appendix F)."""
         series = self.main_series()
-        labels = list(series)
-        pairs: dict[tuple[str, str], BoxStats] = {}
-        for i, a in enumerate(labels):
-            for b in labels[i + 1 :]:
-                coefficients = quarterly_correlations(
-                    series[a].normalized, series[b].normalized, self.calendar
-                )
-                if coefficients:
-                    pairs[(a, b)] = box_stats(coefficients)
-        return QuarterlyCorrelationFigure(pairs=pairs)
+        with span("analysis.correlation.quarterly"):
+            labels = list(series)
+            pairs: dict[tuple[str, str], BoxStats] = {}
+            for i, a in enumerate(labels):
+                for b in labels[i + 1 :]:
+                    coefficients = quarterly_correlations(
+                        series[a].normalized, series[b].normalized, self.calendar
+                    )
+                    if coefficients:
+                        pairs[(a, b)] = box_stats(coefficients)
+            return QuarterlyCorrelationFigure(pairs=pairs)
 
     # -- tables ---------------------------------------------------------------------
 
@@ -448,22 +457,23 @@ class Study:
         """Trend symbols per observatory and industry counts (Table 1)."""
         industry = trend_counts()
         rows: list[Table1Row] = []
-        for attack_class, industry_key in (
-            (AttackClass.DIRECT_PATH, "direct-path"),
-            (AttackClass.REFLECTION_AMPLIFICATION, "reflection-amplification"),
-        ):
-            class_series = self._class_series(attack_class)
-            rows.append(
-                Table1Row(
-                    attack_type=attack_class.label,
-                    observatory_trends={
-                        label: classify_trend(weekly.normalized)
-                        for label, weekly in class_series.items()
-                    },
-                    industry=industry[industry_key],
+        with span("analysis.trends"):
+            for attack_class, industry_key in (
+                (AttackClass.DIRECT_PATH, "direct-path"),
+                (AttackClass.REFLECTION_AMPLIFICATION, "reflection-amplification"),
+            ):
+                class_series = self._class_series(attack_class)
+                rows.append(
+                    Table1Row(
+                        attack_type=attack_class.label,
+                        observatory_trends={
+                            label: classify_trend(weekly.normalized)
+                            for label, weekly in class_series.items()
+                        },
+                        industry=industry[industry_key],
+                    )
                 )
-            )
-        return rows
+            return rows
 
     def table2(self) -> list[Table2Row]:
         """The observatory inventory (Table 2)."""
@@ -545,12 +555,15 @@ class Study:
             stream_label or f"federation/{industry_name}"
         )
         sampled = subsample_baseline(baseline, fraction, rng)
-        return federate(
-            self.academic_target_sets,
-            self.figure7(),
-            industry_name,
-            sampled,
-        )
+        target_sets = self.academic_target_sets
+        upset_result = self.figure7()
+        with span("analysis.federation"):
+            return federate(
+                target_sets,
+                upset_result,
+                industry_name,
+                sampled,
+            )
 
     def _overlap_figure(self, a: str, b: str) -> TargetOverlapFigure:
         set_a = self.academic_target_sets[a]

@@ -1,0 +1,212 @@
+"""Structured span tracer: an aggregated tree of timed pipeline phases.
+
+``span("simulate.shard")`` opens a phase; spans nest, and repeated entries
+of the same key under the same parent *aggregate* into one node (count,
+total wall time, total CPU time), so a full 4.5-year run produces a tree
+of dozens of nodes, not millions.  Keys follow dotted-phase naming
+(``cli.run`` → ``simulate`` → ``simulate.shard`` → ``generate.day``,
+``observe[platform=UCSD]``); tags fold into the key as
+``name[k=v,...]`` with sorted tag keys.
+
+Spans close in a ``finally`` path, so the tree stays correctly nested
+when the timed code raises — the node records the failure in ``errors``
+and the tracer's cursor returns to the parent (the property the
+hypothesis suite in ``tests/test_obs_property.py`` pins down).
+
+Shard workers trace into their own :class:`Tracer` (pushed by
+:class:`tracing`), serialise the tree with :meth:`Tracer.tree`, and the
+parent grafts it under its current span with :meth:`Tracer.graft` — in
+shard order, so the merged tree shape is identical for any worker count
+(timings, of course, are wall-clock facts and vary run to run).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator
+
+from repro.obs.metrics import _ENABLED
+
+
+class SpanNode:
+    """One aggregated phase: every entry of one key under one parent."""
+
+    __slots__ = ("key", "count", "errors", "wall_s", "cpu_s", "children")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.count = 0
+        self.errors = 0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.children: dict[str, SpanNode] = {}
+
+    def child(self, key: str) -> "SpanNode":
+        node = self.children.get(key)
+        if node is None:
+            node = self.children[key] = SpanNode(key)
+        return node
+
+    # -- derived ----------------------------------------------------------------
+
+    @property
+    def self_wall_s(self) -> float:
+        """Wall time not attributed to any child span."""
+        return max(0.0, self.wall_s - sum(c.wall_s for c in self.children.values()))
+
+    @property
+    def self_cpu_s(self) -> float:
+        """CPU time not attributed to any child span."""
+        return max(0.0, self.cpu_s - sum(c.cpu_s for c in self.children.values()))
+
+    def walk(self, path: str = "") -> Iterator[tuple[str, "SpanNode"]]:
+        """Depth-first ``(path, node)`` pairs, excluding the synthetic root."""
+        here = f"{path}/{self.key}" if path else self.key
+        if self.key:
+            yield here, self
+        for child in self.children.values():
+            yield from child.walk(here if self.key else "")
+
+    # -- serialise / merge -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able form (the manifest's ``spans`` document)."""
+        return {
+            "key": self.key,
+            "count": self.count,
+            "errors": self.errors,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "children": [child.to_dict() for child in self.children.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanNode":
+        node = cls(str(payload.get("key", "")))
+        node.count = int(payload.get("count", 0))
+        node.errors = int(payload.get("errors", 0))
+        node.wall_s = float(payload.get("wall_s", 0.0))
+        node.cpu_s = float(payload.get("cpu_s", 0.0))
+        for child in payload.get("children", ()):
+            loaded = cls.from_dict(child)
+            node.children[loaded.key] = loaded
+        return node
+
+    def merge(self, other: "SpanNode") -> None:
+        """Fold another aggregate of the same key into this node."""
+        self.count += other.count
+        self.errors += other.errors
+        self.wall_s += other.wall_s
+        self.cpu_s += other.cpu_s
+        for key, child in other.children.items():
+            self.child(key).merge(child)
+
+
+class Tracer:
+    """One span tree with a cursor to the currently open span."""
+
+    __slots__ = ("root", "_stack")
+
+    def __init__(self) -> None:
+        self.root = SpanNode("")
+        self._stack: list[SpanNode] = [self.root]
+
+    @property
+    def current(self) -> SpanNode:
+        return self._stack[-1]
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans (0 at the root)."""
+        return len(self._stack) - 1
+
+    def tree(self) -> dict:
+        """The serialised span tree (a worker's return payload)."""
+        return self.root.to_dict()
+
+    def graft(self, tree: dict) -> None:
+        """Merge a serialised tree's children under the current span."""
+        loaded = SpanNode.from_dict(tree)
+        for key, child in loaded.children.items():
+            self.current.child(key).merge(child)
+
+
+def span_key(name: str, tags: dict[str, Any]) -> str:
+    """``name`` or ``name[k=v,...]`` with sorted tag keys."""
+    if not tags:
+        return name
+    inner = ",".join(f"{key}={tags[key]}" for key in sorted(tags))
+    return f"{name}[{inner}]"
+
+
+class _Span:
+    """Context manager timing one phase entry (wall + process CPU)."""
+
+    __slots__ = ("_tracer", "_key", "_node", "_wall0", "_cpu0")
+
+    def __init__(self, tracer: Tracer, key: str) -> None:
+        self._tracer = tracer
+        self._key = key
+
+    def __enter__(self) -> "_Span":
+        self._node = self._tracer.current.child(self._key)
+        self._tracer._stack.append(self._node)
+        self._cpu0 = time.process_time()
+        self._wall0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        node = self._node
+        node.count += 1
+        node.wall_s += wall
+        node.cpu_s += cpu
+        if exc_type is not None:
+            node.errors += 1
+        popped = self._tracer._stack.pop()
+        assert popped is node, "unbalanced span nesting"
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while observability is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+_TRACER_STACK: list[Tracer] = [Tracer()]
+
+
+def tracer() -> Tracer:
+    """The innermost (currently recording) tracer."""
+    return _TRACER_STACK[-1]
+
+
+def span(name: str, **tags: Any):
+    """Open a span under the current one (no-op when disabled)."""
+    if not _ENABLED[0]:
+        return _NOOP_SPAN
+    return _Span(_TRACER_STACK[-1], span_key(name, tags) if tags else name)
+
+
+class tracing:
+    """Context manager scoping spans to a fresh tracer (per command/shard)."""
+
+    __slots__ = ("_tracer",)
+
+    def __enter__(self) -> Tracer:
+        self._tracer = Tracer()
+        _TRACER_STACK.append(self._tracer)
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        popped = _TRACER_STACK.pop()
+        assert popped is self._tracer, "unbalanced tracing contexts"

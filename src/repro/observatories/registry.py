@@ -29,6 +29,7 @@ from repro.net.plan import (
     UCSD_TELESCOPE_PREFIXES,
     InternetPlan,
 )
+from repro.obs import counter, span
 from repro.observatories.base import Observations, Observatory, SeriesKey, VisibilityNoise
 from repro.observatories.flowmon import AkamaiProlexic, IxpBlackholing, NetscoutAtlas
 from repro.observatories.honeypot import (
@@ -109,10 +110,19 @@ class ObservatorySet:
     def run_all(self, batches) -> dict[str, Observations]:
         """Feed every observatory from one pass over the day batches."""
         sinks = {obs.name: Observations(obs.name) for obs in self.all()}
-        pairs = [(obs, sinks[obs.name]) for obs in self.all()]
+        # Span keys are precomputed: the observe loop runs per (day,
+        # platform) and per-call tag formatting would dominate the span
+        # bookkeeping itself.
+        pairs = [
+            (obs, sinks[obs.name], f"observe[platform={obs.name}]")
+            for obs in self.all()
+        ]
         for batch in batches:
-            for observatory, sink in pairs:
-                observatory.observe(batch, sink)
+            for observatory, sink, key in pairs:
+                with span(key):
+                    observatory.observe(batch, sink)
+        for name, sink in sinks.items():
+            counter("observe.records", platform=name).inc(len(sink))
         return sinks
 
     def run_with_ground_truth(

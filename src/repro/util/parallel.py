@@ -22,6 +22,12 @@ Model substrate (Internet plan, landscape, campaigns) is deterministic and
 read-only, so it is memoised per process; on platforms with ``fork`` the
 parent warms the memo before spawning workers and children inherit it for
 free.
+
+Each shard also runs inside its own observability collection context
+(:mod:`repro.obs`): the worker ships a metrics snapshot and span tree
+alongside the simulation result, and the parent merges the payloads in
+shard order — so ``--jobs N`` reports identical aggregate counters for
+any ``N``.
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ from repro.attacks.events import AttackClass
 from repro.attacks.generator import GroundTruthGenerator
 from repro.attacks.landscape import LandscapeModel
 from repro.net.plan import InternetPlan, PlanConfig, build_internet_plan
+from repro.obs import absorb, collecting, gauge, span, tracing
 from repro.observatories.base import Observations
 from repro.observatories.registry import ObservatorySet, build_observatories
 from repro.util.rng import RngFactory
@@ -162,6 +169,12 @@ def run_shard(
 ) -> tuple[dict[str, Observations], dict[AttackClass, np.ndarray]]:
     """Simulate one contiguous day range with fresh generator + observatories."""
     models = models_for(config)
+    # Substrate sizes are recorded as gauges (idempotent absolute values):
+    # every shard sets the same numbers, so the merged metrics are
+    # identical for any worker count even though the memoised build
+    # itself runs a process-dependent number of times.
+    gauge("models.campaigns").set(len(models.campaigns))
+    gauge("models.ases").set(len(models.plan.ases))
     generator = GroundTruthGenerator(
         models.plan,
         config.calendar,
@@ -177,11 +190,30 @@ def run_shard(
     )
 
 
-def _run_shard_task(
-    task: tuple["StudyConfig", int, int]
-) -> tuple[dict[str, Observations], dict[AttackClass, np.ndarray]]:
+#: One shard's return payload: the simulation result plus the shard's
+#: observability delta (metrics snapshot + serialised span tree).
+ShardPayload = tuple[
+    tuple[dict[str, Observations], dict[AttackClass, np.ndarray]],
+    dict,
+    dict,
+]
+
+
+def _run_shard_task(task: tuple["StudyConfig", int, int]) -> ShardPayload:
+    """Run one shard inside its own observability collection context.
+
+    Workers may process several shards each and (under ``fork``) inherit
+    whatever the parent already recorded, so the shard's metrics are
+    captured as an isolated *delta* — a fresh registry and tracer pushed
+    for exactly this shard — and shipped home for the parent to merge in
+    shard order.  This is what keeps the merged aggregates identical for
+    any ``--jobs N``.
+    """
     config, start, stop = task
-    return run_shard(config, start, stop)
+    with collecting() as registry, tracing() as tracer:
+        with span("simulate.shard"):
+            result = run_shard(config, start, stop)
+    return result, registry.snapshot(), tracer.tree()
 
 
 def merge_shard_results(
@@ -219,19 +251,27 @@ def simulate(
     width = shard_days if shard_days is not None else DEFAULT_SHARD_DAYS
     shards = plan_shards(config.calendar.n_days, width)
     workers = min(resolve_jobs(jobs), len(shards))
-    if workers <= 1:
-        results = [run_shard(config, start, stop) for start, stop in shards]
-        return merge_shard_results(results)
-
-    # Warm the per-process substrate memo before the pool is created: with
-    # the fork start method every worker inherits the built models and pays
-    # no per-shard setup cost.
-    models_for(config)
-    start_methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context(
-        "fork" if "fork" in start_methods else None
-    )
     tasks = [(config, start, stop) for start, stop in shards]
-    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-        results = list(pool.map(_run_shard_task, tasks))
-    return merge_shard_results(results)
+    with span("simulate"):
+        gauge("simulate.shards").set(len(shards))
+        if workers <= 1:
+            payloads = [_run_shard_task(task) for task in tasks]
+        else:
+            # Warm the per-process substrate memo before the pool is
+            # created: with the fork start method every worker inherits the
+            # built models and pays no per-shard setup cost.
+            models_for(config)
+            start_methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in start_methods else None
+            )
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            ) as pool:
+                payloads = list(pool.map(_run_shard_task, tasks))
+        results = []
+        for result, snapshot, tree in payloads:
+            results.append(result)
+            absorb(snapshot, tree)
+        with span("simulate.merge"):
+            return merge_shard_results(results)

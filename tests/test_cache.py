@@ -157,6 +157,68 @@ class TestEnvironment:
         assert not cache_enabled()
 
 
+class TestActivityStats:
+    """The persistent hit/miss counters behind ``ddoscovery cache info``."""
+
+    def test_fresh_cache_reports_zeros(self, tmp_path):
+        cache = StudyCache(tmp_path)
+        assert cache.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "bytes_read": 0,
+            "bytes_written": 0,
+        }
+        assert cache.hit_rate() is None
+
+    def test_cold_then_warm_run_records_miss_then_hit(
+        self, tiny_config, tmp_path
+    ):
+        """Regression for `cache info` hit rates: a cold study records one
+        miss and one store, the warm rerun one hit — 50% lifetime rate."""
+        cache_dir = tmp_path / "cache"
+        Study(tiny_config, cache=True, cache_dir=cache_dir).observations
+        cache = StudyCache(cache_dir)
+        cold = cache.stats()
+        assert (cold["hits"], cold["misses"], cold["stores"]) == (0, 1, 1)
+        assert cold["bytes_written"] > 0
+        assert cold["bytes_read"] == 0
+        assert cache.hit_rate() == 0.0
+
+        Study(tiny_config, cache=True, cache_dir=cache_dir).observations
+        warm = cache.stats()
+        assert (warm["hits"], warm["misses"], warm["stores"]) == (1, 1, 1)
+        assert warm["bytes_read"] == warm["bytes_written"]
+        assert cache.hit_rate() == 0.5
+
+    def test_stats_survive_across_cache_instances(
+        self, tiny_config, tiny_result, tmp_path
+    ):
+        """Counters live on disk, so separate processes (here: separate
+        StudyCache objects) accumulate into the same lifetime totals."""
+        fingerprint = config_fingerprint(tiny_config)
+        StudyCache(tmp_path).store(fingerprint, *tiny_result)
+        assert StudyCache(tmp_path).load(fingerprint) is not None
+        assert StudyCache(tmp_path).load("0" * 64) is None
+        stats = StudyCache(tmp_path).stats()
+        assert (stats["hits"], stats["misses"], stats["stores"]) == (1, 1, 1)
+
+    def test_corrupt_stats_file_reads_as_zeros(self, tmp_path):
+        cache = StudyCache(tmp_path)
+        tmp_path.mkdir(exist_ok=True)
+        cache.stats_path.write_text("not json", encoding="utf-8")
+        assert cache.stats()["hits"] == 0
+        assert cache.hit_rate() is None
+
+    def test_clear_resets_stats(self, tiny_config, tiny_result, tmp_path):
+        cache = StudyCache(tmp_path)
+        cache.store(config_fingerprint(tiny_config), *tiny_result)
+        assert cache.stats()["stores"] == 1
+        cache.clear()
+        assert not cache.stats_path.exists()
+        assert cache.hit_rate() is None
+
+
 class TestStudyCacheIntegration:
     def test_second_study_hits_the_cache(
         self, tiny_config, tmp_path, monkeypatch

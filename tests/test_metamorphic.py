@@ -11,7 +11,10 @@ a fixed value, so it holds for any seed hypothesis draws:
   run's observations and weekly ground truth;
 * observatory-subset independence — each observatory's feed is unchanged
   when other observatories are removed from the set (per-platform RNG
-  streams do not leak into each other).
+  streams do not leak into each other);
+* observability invariance — the merged pipeline metrics are identical
+  for any worker count, and disabling instrumentation entirely never
+  changes a byte of simulation output.
 
 Windows are drawn in whole multiples of 4 weeks so shard plans of nested
 calendars align (28-day shards); tiny rates keep the whole module inside
@@ -125,6 +128,33 @@ def test_shorter_calendar_is_a_prefix_of_the_longer_run(
     n_weeks = short.calendar.n_weeks
     for attack_class, weekly in truth_short.items():
         assert np.array_equal(weekly, truth_long[attack_class][:n_weeks])
+
+
+@given(seed=seeds, weeks=week_multiples)
+@settings(**_SETTINGS)
+def test_observability_is_jobs_invariant_and_invisible(
+    seed: int, weeks: int
+) -> None:
+    """Merged metrics are identical serial vs. sharded, and turning
+    instrumentation off leaves the artefacts bit-for-bit unchanged."""
+    from repro import obs
+
+    config = tiny_config(seed, weeks)
+    runs = {}
+    for jobs in (1, 4):
+        with obs.collecting() as registry, obs.tracing():
+            result = simulate(config, jobs=jobs)
+        runs[jobs] = (result, registry.snapshot())
+    _assert_identical(runs[1][0], runs[4][0])
+    assert runs[1][1]["counters"], "instrumentation recorded nothing"
+    assert runs[1][1] == runs[4][1]
+
+    obs.set_enabled(False)
+    try:
+        dark = simulate(config, jobs=1)
+    finally:
+        obs.set_enabled(True)
+    _assert_identical(runs[1][0], dark)
 
 
 @given(seed=seeds)

@@ -1,0 +1,248 @@
+"""Property tests for the observability primitives (:mod:`repro.obs`).
+
+These pin down the algebra that makes the shard merge deterministic:
+
+* counter merging is associative and commutative, so the aggregate is
+  independent of how increments are partitioned into shards *and* of the
+  order the shard snapshots arrive;
+* histogram digests (count, sum, quantiles) are partition-independent,
+  and quantiles are monotone in ``q`` — the contract the ``--metrics``
+  table and the manifest rely on;
+* span trees stay correctly nested when the timed code raises: the
+  cursor returns to the root, the failing span records the error, and
+  sibling/ancestor counts are unaffected.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    SpanNode,
+    collecting,
+    merge_snapshots,
+    tracing,
+)
+
+_SETTINGS = dict(max_examples=50, deadline=None, derandomize=True)
+
+names = st.sampled_from(["a", "b", "c", "d"])
+increments = st.lists(
+    st.tuples(names, st.integers(min_value=0, max_value=1000)), max_size=40
+)
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+def _shards(draw_assignment, events, n_shards):
+    """Partition ``events`` into ``n_shards`` snapshot dicts."""
+    shards = [MetricsRegistry() for _ in range(n_shards)]
+    for event, shard_index in zip(events, draw_assignment):
+        kind, payload = event
+        if kind == "counter":
+            name, value = payload
+            shards[shard_index].counter(name).inc(value)
+        else:
+            name, value = payload
+            shards[shard_index].histogram(name).observe(value)
+    return [shard.snapshot() for shard in shards]
+
+
+class TestCounterMerge:
+    @given(
+        events=increments,
+        assignment=st.lists(st.integers(0, 3), min_size=40, max_size=40),
+    )
+    @settings(**_SETTINGS)
+    def test_partition_independent(self, events, assignment):
+        """Any split of the increments into shards merges to the totals."""
+        direct = MetricsRegistry()
+        for name, value in events:
+            direct.counter(name).inc(value)
+        shards = _shards(
+            assignment,
+            [("counter", event) for event in events],
+            n_shards=4,
+        )
+        merged = merge_snapshots(shards)
+        assert merged["counters"] == direct.snapshot()["counters"]
+
+    @given(
+        events=increments,
+        assignment=st.lists(st.integers(0, 3), min_size=40, max_size=40),
+        order=st.permutations(list(range(4))),
+    )
+    @settings(**_SETTINGS)
+    def test_commutative_over_shard_order(self, events, assignment, order):
+        shards = _shards(
+            assignment, [("counter", event) for event in events], n_shards=4
+        )
+        in_order = merge_snapshots(shards)
+        permuted = merge_snapshots([shards[index] for index in order])
+        assert in_order["counters"] == permuted["counters"]
+
+    @given(
+        events=increments,
+        assignment=st.lists(st.integers(0, 2), min_size=40, max_size=40),
+    )
+    @settings(**_SETTINGS)
+    def test_associative(self, events, assignment):
+        """merge(merge(s0, s1), s2) == merge(s0, merge(s1, s2))."""
+        s0, s1, s2 = _shards(
+            assignment, [("counter", event) for event in events], n_shards=3
+        )
+        left = merge_snapshots([merge_snapshots([s0, s1]), s2])
+        right = merge_snapshots([s0, merge_snapshots([s1, s2])])
+        assert left["counters"] == right["counters"]
+
+    def test_counters_reject_negative_increments(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+
+class TestHistogram:
+    @given(
+        values=st.lists(finite_floats, min_size=1, max_size=60),
+        qs=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=8),
+    )
+    @settings(**_SETTINGS)
+    def test_quantiles_monotone_in_q(self, values, qs):
+        histogram = Histogram()
+        for value in values:
+            histogram.observe(value)
+        results = [histogram.quantile(q) for q in sorted(qs)]
+        assert all(a <= b for a, b in zip(results, results[1:]))
+        assert histogram.quantile(0.0) == min(values)
+        assert histogram.quantile(1.0) == max(values)
+
+    @given(
+        values=st.lists(finite_floats, min_size=1, max_size=60),
+        assignment=st.lists(st.integers(0, 3), min_size=60, max_size=60),
+        q=st.floats(0.0, 1.0),
+    )
+    @settings(**_SETTINGS)
+    def test_digest_partition_independent(self, values, assignment, q):
+        """Merged-shard quantiles/sums equal the direct computation."""
+        direct = Histogram()
+        for value in values:
+            direct.observe(value)
+        shards = _shards(
+            assignment,
+            [("histogram", ("h", value)) for value in values],
+            n_shards=4,
+        )
+        merged = MetricsRegistry()
+        for shard in shards:
+            merged.merge(shard)
+        rebuilt = merged.histogram("h")
+        assert rebuilt.count == direct.count
+        assert rebuilt.quantile(q) == direct.quantile(q)
+        # fsum is exactly rounded, so even the float sum is order-independent.
+        assert rebuilt.sum == direct.sum
+
+    @given(
+        values=st.lists(finite_floats, min_size=1, max_size=40),
+        extra=st.lists(finite_floats, min_size=1, max_size=20),
+    )
+    @settings(**_SETTINGS)
+    def test_quantile_extremes_monotone_in_data(self, values, extra):
+        """Observing more data can only widen the [q0, q1] envelope."""
+        smaller, larger = Histogram(), Histogram()
+        for value in values:
+            smaller.observe(value)
+            larger.observe(value)
+        for value in extra:
+            larger.observe(value)
+        assert larger.quantile(0.0) <= smaller.quantile(0.0)
+        assert larger.quantile(1.0) >= smaller.quantile(1.0)
+        assert larger.count == smaller.count + len(extra)
+
+    def test_empty_histogram_has_no_quantiles(self):
+        histogram = Histogram()
+        assert math.isnan(histogram.min)
+        assert histogram.summary() == {"count": 0}
+        with pytest.raises(ValueError):
+            histogram.quantile(0.5)
+
+
+# A random little program of nested spans: (name, raises, children).
+span_programs = st.recursive(
+    st.tuples(names, st.booleans(), st.just(())),
+    lambda children: st.tuples(
+        names, st.booleans(), st.lists(children, max_size=3).map(tuple)
+    ),
+    max_leaves=12,
+)
+
+
+def _run_program(node) -> tuple[int, int]:
+    """Execute one program node; returns (spans entered, spans that raised).
+
+    Each raising node is caught by *its own* caller, so the error must be
+    charged to exactly that span — not to ancestors or siblings.
+    """
+    name, raises, children = node
+    entered, raised = 1, 1 if raises else 0
+    try:
+        with obs.span(name):
+            for child in children:
+                child_entered, child_raised = _run_program(child)
+                entered += child_entered
+                raised += child_raised
+            if raises:
+                raise RuntimeError(name)
+    except RuntimeError:
+        pass
+    return entered, raised
+
+
+class TestSpanNesting:
+    @given(program=span_programs)
+    @settings(**_SETTINGS)
+    def test_tree_correct_under_exceptions(self, program):
+        with collecting(), tracing() as tracer:
+            entered, raised = _run_program(program)
+            assert tracer.depth == 0, "cursor must return to the root"
+            nodes = [node for _, node in tracer.root.walk()]
+            assert sum(node.count for node in nodes) == entered
+            assert sum(node.errors for node in nodes) == raised
+            assert all(node.wall_s >= 0 and node.cpu_s >= 0 for node in nodes)
+
+    def test_exception_propagating_through_ancestors_charges_each(self):
+        with collecting(), tracing() as tracer:
+            with pytest.raises(RuntimeError):
+                with obs.span("outer"):
+                    with obs.span("inner"):
+                        raise RuntimeError("boom")
+            assert tracer.depth == 0
+            outer = tracer.root.children["outer"]
+            inner = outer.children["inner"]
+            assert (outer.count, outer.errors) == (1, 1)
+            assert (inner.count, inner.errors) == (1, 1)
+
+    @given(program=span_programs)
+    @settings(**_SETTINGS)
+    def test_graft_equals_local_recording(self, program):
+        """A serialised tree grafted at the root merges without loss."""
+        with collecting(), tracing() as worker:
+            _run_program(program)
+            shipped = worker.tree()
+        with collecting(), tracing() as parent:
+            parent.graft(shipped)
+            merged = parent.root.to_dict()
+        assert merged["children"] == SpanNode.from_dict(shipped).to_dict()["children"]
+
+    def test_self_time_never_negative(self):
+        node = SpanNode("parent")
+        node.wall_s = 1.0
+        child = node.child("child")
+        child.wall_s = 1.5  # clock skew: child measured longer than parent
+        assert node.self_wall_s == 0.0
