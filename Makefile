@@ -1,6 +1,6 @@
 # Convenience targets for the DDoScovery reproduction.
 
-.PHONY: install test test-fast conformance ci bench bench-perf profile examples artefacts clean
+.PHONY: install test test-fast conformance ci bench bench-perf profile sweep-smoke sweep-stability examples artefacts clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,8 +14,9 @@ test-fast:
 	pytest tests/ -m "not slow and not conformance"
 
 # Full-window paper conformance: the CLI report (also written as an
-# artefact) plus the conformance-marked pytest tier.
-conformance:
+# artefact) plus the conformance-marked pytest tier and the seed-stability
+# sweep artefact.
+conformance: sweep-stability
 	python -m repro.cli conformance --jobs 0 --out benchmarks/results/CONFORMANCE.txt
 	pytest tests/ -m conformance
 
@@ -33,6 +34,17 @@ bench-perf:
 # so the simulation itself is measured; see docs/OBSERVABILITY.md).
 profile:
 	PYTHONPATH=src python -m repro.cli profile --seed 0 --out benchmarks/results/PROFILE_seed0.txt
+
+# Tiny 2-seed x 2-scale ensemble through every sweep layer (tier-1 budget;
+# see docs/SWEEPS.md).
+sweep-smoke:
+	PYTHONPATH=src python -m repro.cli sweep run --preset smoke --jobs 2 --resume
+
+# Regenerate the checked-in seed-stability artefact from the 3-seed
+# reduced-scale ensemble (conformance tier).
+sweep-stability:
+	PYTHONPATH=src python -m repro.cli sweep run --preset seed-robustness --jobs 0 --resume
+	PYTHONPATH=src python -m repro.cli sweep report --preset seed-robustness --out benchmarks/results/SWEEP_seed_stability.txt
 
 examples:
 	python examples/quickstart.py

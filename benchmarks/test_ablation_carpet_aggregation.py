@@ -2,37 +2,26 @@
 
 With the Appendix-I aggregation enabled, carpet events are recorded once
 per RIR allocation block; disabled, every sampled attacked IP is its own
-record and weekly counts inflate.
+record and weekly counts inflate.  The two configurations are the cells
+of the ``ablation-carpet`` sweep preset.
 """
 
-import numpy as np
+from repro.core.study import Study
+from repro.sweep import expand, preset
 
-from repro.core.study import Study, StudyConfig
-from repro.net.plan import PlanConfig
-from repro.util.calendar import StudyCalendar
-import datetime as dt
-
-CALENDAR = StudyCalendar(dt.date(2022, 1, 1), dt.date(2022, 12, 31))
+CELLS = {cell.label_map["carpet"]: cell for cell in expand(preset("ablation-carpet"))}
 
 
-def hopscotch_total(aggregate: bool) -> int:
-    config = StudyConfig(
-        seed=0,
-        calendar=CALENDAR,
-        dp_per_day=30.0,
-        ra_per_day=40.0,
-        plan=PlanConfig(seed=0, tail_as_count=80),
-        aggregate_carpet=aggregate,
-    )
-    study = Study(config)
+def hopscotch_total(label: str) -> int:
+    study = Study(CELLS[label].config)
     return len(study.observations["Hopscotch"])
 
 
 def test_ablation_carpet_aggregation(benchmark, report):
     aggregated = benchmark.pedantic(
-        hopscotch_total, args=(True,), rounds=1, iterations=1
+        hopscotch_total, args=("aggregated",), rounds=1, iterations=1
     )
-    raw = hopscotch_total(False)
+    raw = hopscotch_total("per-ip")
 
     lines = [
         "Ablation - carpet-bombing aggregation (2022 window incl. SSDP wave)",

@@ -6,38 +6,32 @@ the interference model on and measures how many telescope detections the
 protection footprints erase.
 """
 
-import datetime as dt
-
-from repro.attacks.campaigns import CampaignModel
 from repro.attacks.generator import GroundTruthGenerator
-from repro.attacks.landscape import LandscapeModel
-from repro.net.plan import PlanConfig, build_internet_plan
+from repro.net.plan import UCSD_TELESCOPE_PREFIXES
 from repro.observatories.base import Observations
 from repro.observatories.mitigation import MitigationInterference
 from repro.observatories.telescope import NetworkTelescope, TelescopeConfig
-from repro.net.plan import UCSD_TELESCOPE_PREFIXES
-from repro.util.calendar import StudyCalendar
+from repro.sweep import ablation_substrate
+from repro.util.parallel import build_models
 from repro.util.rng import RngFactory
 
-CALENDAR = StudyCalendar(dt.date(2019, 1, 1), dt.date(2019, 12, 31))
+CONFIG = ablation_substrate(60.0, 20.0)
 
 
 def run_telescope(mitigation_probability: float) -> int:
-    plan = build_internet_plan(PlanConfig(seed=0, tail_as_count=80))
-    factory = RngFactory(0)
-    landscape = LandscapeModel(CALENDAR, dp_per_day=60.0, ra_per_day=20.0)
-    campaigns = CampaignModel(
-        CALENDAR,
-        factory,
-        candidate_asns=[i.asn for i in plan.ases if i.target_weight > 0],
-    )
+    models = build_models(CONFIG)
+    factory = RngFactory(CONFIG.seed)
     generator = GroundTruthGenerator(
-        plan, CALENDAR, landscape, campaigns, rng_factory=factory
+        models.plan,
+        CONFIG.calendar,
+        models.landscape,
+        models.campaigns,
+        rng_factory=factory,
     )
     mitigation = None
     if mitigation_probability > 0:
         mitigation = MitigationInterference(
-            plan,
+            models.plan,
             factory.stream("mitigation"),
             mitigation_probability=mitigation_probability,
         )

@@ -6,26 +6,24 @@ the packet threshold of a Hopscotch-like platform and measures the target
 count relative to the paper's 5-packet default.
 """
 
-import datetime as dt
+import dataclasses
 
-from repro.attacks.campaigns import CampaignModel
 from repro.attacks.generator import GroundTruthGenerator
-from repro.attacks.landscape import LandscapeModel
-from repro.net.plan import PlanConfig, build_internet_plan
 from repro.observatories.base import Observations
 from repro.observatories.honeypot import HOPSCOTCH_SPEC, HoneypotPlatform
-from repro.util.calendar import StudyCalendar
+from repro.sweep import ablation_substrate
+from repro.util.parallel import build_models
 from repro.util.rng import RngFactory
 
-CALENDAR = StudyCalendar(dt.date(2019, 1, 1), dt.date(2019, 12, 31))
+CONFIG = ablation_substrate(40.0, 40.0)
 
 
 def run_with_threshold(min_packets: int, batches, plan) -> int:
-    import dataclasses
-
     spec = dataclasses.replace(HOPSCOTCH_SPEC, min_packets=min_packets)
     honeypot = HoneypotPlatform(
-        spec, rng=RngFactory(0).stream(f"abl/{min_packets}"), rir=plan.rir
+        spec,
+        rng=RngFactory(CONFIG.seed).stream(f"abl/{min_packets}"),
+        rir=plan.rir,
     )
     observations = Observations(honeypot.name)
     for batch in batches:
@@ -34,18 +32,15 @@ def run_with_threshold(min_packets: int, batches, plan) -> int:
 
 
 def make_batches():
-    plan = build_internet_plan(PlanConfig(seed=0, tail_as_count=80))
-    factory = RngFactory(0)
-    landscape = LandscapeModel(CALENDAR, dp_per_day=40.0, ra_per_day=40.0)
-    campaigns = CampaignModel(
-        CALENDAR,
-        factory,
-        candidate_asns=[i.asn for i in plan.ases if i.target_weight > 0],
-    )
+    models = build_models(CONFIG)
     generator = GroundTruthGenerator(
-        plan, CALENDAR, landscape, campaigns, rng_factory=factory
+        models.plan,
+        CONFIG.calendar,
+        models.landscape,
+        models.campaigns,
+        rng_factory=RngFactory(CONFIG.seed),
     )
-    return list(generator.batches()), plan
+    return list(generator.batches()), models.plan
 
 
 def test_ablation_thresholds(benchmark, report):

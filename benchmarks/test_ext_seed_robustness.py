@@ -1,64 +1,51 @@
 """Extension — seed robustness of the headline findings.
 
 The paper's qualitative conclusions should not depend on one lucky random
-seed.  This benchmark reruns a reduced-scale study under several seeds and
-checks that the headline shapes hold each time: direct path trends up,
-reflection-amplification peaks in 2020/21 and declines, honeypots dominate
-target counts, and the all-four intersection stays a small fraction.
+seed.  This benchmark runs the ``seed-robustness`` sweep preset
+(:mod:`repro.sweep`) — the same reduced-scale three-seed ensemble this
+file used to hand-roll — and checks that the headline shapes hold in
+every cell: direct path trends up, reflection-amplification peaks in
+2020/21 and declines, honeypots dominate target counts, and the all-four
+intersection stays a small fraction.
 """
 
-import datetime as dt
+from repro.sweep import preset, run_sweep
 
-import numpy as np
+SPEC = preset("seed-robustness")
 
-from repro.attacks.events import AttackClass
-from repro.core.study import Study, StudyConfig
-from repro.net.plan import PlanConfig
-from repro.util.calendar import StudyCalendar
-
-#: Reduced scale: 3 years, lighter rates, smaller plan (fast per seed).
-CALENDAR = StudyCalendar(dt.date(2019, 1, 1), dt.date(2022, 12, 31))
-SEEDS = (1, 2, 3)
+#: 52-week chunk indices of the 4-year window (the last chunk absorbs
+#: the partial tail, i.e. "2022 onward").
+YEAR_2020, YEAR_2022 = 1, 3
 
 
-def run_seed(seed: int) -> dict:
-    study = Study(
-        StudyConfig(
-            seed=seed,
-            calendar=CALENDAR,
-            dp_per_day=50.0,
-            ra_per_day=40.0,
-            plan=PlanConfig(seed=seed, tail_as_count=200),
-        )
-    )
-    series = study.main_series()
+def summarise(cell) -> dict:
+    """The quantities the robustness claims are made over, per cell."""
     dp_slopes = {
-        label: weekly.trend_line().slope_per_year
-        for label, weekly in series.items()
+        label: trend["slope_per_year"]
+        for label, trend in cell.trends.items()
         if "(RA)" not in label
     }
-    ra_means = {}
-    for label, weekly in series.items():
-        if "(RA)" in label:
-            ra_means[label] = (
-                float(weekly.normalized[52:104].mean()),  # 2020
-                float(weekly.normalized[156:].mean()),  # 2022
-            )
-    upset = study.figure7()
+    ra_means = {
+        label: (means[YEAR_2020], means[YEAR_2022])
+        for label, means in cell.year_means.items()
+        if "(RA)" in label
+    }
     return {
         "dp_slopes": dp_slopes,
         "ra_means": ra_means,
-        "hp_share": upset.set_shares["Hopscotch"],
-        "orion_share": upset.set_shares["ORION"],
-        "all_four": upset.seen_by_all().share,
+        "hp_share": cell.headline["set_shares"]["Hopscotch"],
+        "orion_share": cell.headline["set_shares"]["ORION"],
+        "all_four": cell.headline["all_four_share"],
     }
 
 
 def test_ext_seed_robustness(benchmark, report):
-    first = benchmark.pedantic(run_seed, args=(SEEDS[0],), rounds=1, iterations=1)
-    results = {SEEDS[0]: first}
-    for seed in SEEDS[1:]:
-        results[seed] = run_seed(seed)
+    outcome = benchmark.pedantic(
+        lambda: run_sweep(SPEC, jobs=1), rounds=1, iterations=1
+    )
+    results = {
+        cell.seed: summarise(cell) for cell in outcome.report.cells
+    }
 
     lines = ["Seed robustness of headline shapes", ""]
     for seed, result in results.items():

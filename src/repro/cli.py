@@ -17,6 +17,11 @@ Subcommands:
     Evaluate the paper-conformance check registry and the golden
     fingerprints; ``--update-goldens`` refreshes the pins after an
     intentional model change.
+``ddoscovery sweep``
+    Declarative scenario ensembles (``repro.sweep``): ``run`` executes a
+    named preset cell-by-cell with a resumable on-disk ledger, ``status``
+    shows ledger progress, ``report`` renders the ensemble stability
+    report, ``list`` names the presets — see ``docs/SWEEPS.md``.
 ``ddoscovery profile``
     Run the pipeline under the span tracer and print the hottest phases
     (sorted by self time).
@@ -39,6 +44,8 @@ Examples::
     ddoscovery conformance
     ddoscovery conformance --out benchmarks/results/CONFORMANCE.txt
     ddoscovery conformance --pinned seed0-small --update-goldens
+    ddoscovery sweep run --preset seed-robustness --jobs 4 --resume
+    ddoscovery sweep report --preset seed-robustness --out stability.txt
     ddoscovery profile --weeks 52 --top 15
 """
 
@@ -225,6 +232,75 @@ def _build_parser() -> argparse.ArgumentParser:
         "(e.g. benchmarks/results/CONFORMANCE.txt)",
     )
     _add_observability_arguments(conformance)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="run declarative scenario ensembles with a resumable ledger",
+    )
+    sweep_actions = sweep.add_subparsers(dest="action", required=True)
+
+    def _add_sweep_common(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--preset",
+            required=True,
+            metavar="NAME",
+            help="named scenario preset (see 'ddoscovery sweep list')",
+        )
+        parser.add_argument(
+            "--cache-dir",
+            type=Path,
+            default=None,
+            help="cache root; the sweep ledger lives under <root>/sweeps "
+            "(default $REPRO_CACHE_DIR or ~/.cache/repro)",
+        )
+
+    sweep_run = sweep_actions.add_parser(
+        "run", help="execute (or resume) every cell of a sweep"
+    )
+    _add_sweep_common(sweep_run)
+    sweep_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="simulation worker processes per cell (0 = one per CPU; "
+        "cell results are identical for any value)",
+    )
+    sweep_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed cells from the run ledger (an interrupted "
+        "sweep continues exactly where it stopped)",
+    )
+    sweep_run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk simulation cache for each cell",
+    )
+    _add_observability_arguments(sweep_run)
+
+    sweep_status_parser = sweep_actions.add_parser(
+        "status", help="show per-cell ledger progress (never simulates)"
+    )
+    _add_sweep_common(sweep_status_parser)
+
+    sweep_report = sweep_actions.add_parser(
+        "report", help="aggregate the ledger into the ensemble report"
+    )
+    _add_sweep_common(sweep_report)
+    sweep_report.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="render a report even when cells are still pending",
+    )
+    sweep_report.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write the report to a file "
+        "(e.g. benchmarks/results/SWEEP_seed_stability.txt)",
+    )
+
+    sweep_actions.add_parser("list", help="list the available presets")
 
     profile = commands.add_parser(
         "profile",
@@ -531,6 +607,109 @@ def _command_conformance(args: argparse.Namespace) -> int:
     return _observed_command(args, "conformance", config, body)
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import (
+        expand,
+        load_report,
+        preset,
+        preset_names,
+        run_sweep,
+        sweep_provenance,
+        sweep_status,
+    )
+    from repro.util.parallel import effective_jobs
+
+    if args.action == "list":
+        for name in preset_names():
+            spec = preset(name)
+            cells = expand(spec)
+            print(f"{name:24s} {len(cells):3d} cells  {spec.description}")
+        return 0
+
+    try:
+        spec = preset(args.preset)
+    except KeyError as error:
+        raise SystemExit(str(error))
+
+    if args.action == "status":
+        status = sweep_status(spec, sweep_dir=args.cache_dir)
+        print(f"sweep {status['sweep_id']}")
+        print(f"  ledger {status['ledger_path']}")
+        print(
+            f"  cells  {len(status['done'])}/{status['n_cells']} done, "
+            f"{len(status['pending'])} pending"
+        )
+        for cell in status["cells"]:
+            labels = " ".join(f"{k}={v}" for k, v in cell["labels"].items())
+            elapsed = (
+                f"  ({cell['elapsed_s']:.1f}s)"
+                if cell["elapsed_s"] is not None
+                else ""
+            )
+            print(
+                f"  [{cell['index']:3d}] {cell['status']:7s} "
+                f"{labels or '(base)'}{elapsed}"
+            )
+        return 0
+
+    if args.action == "report":
+        report = load_report(spec, sweep_dir=args.cache_dir)
+        if not report.complete and not args.allow_partial:
+            raise SystemExit(
+                f"sweep {report.sweep_id} has {len(report.cells)}/"
+                f"{report.n_cells} cells; run 'ddoscovery sweep run "
+                f"--preset {args.preset} --resume' or pass --allow-partial"
+            )
+        text = report.render()
+        print(text)
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(text + "\n", encoding="utf-8")
+            print(f"wrote {args.out}", file=sys.stderr)
+        return 0
+
+    # action == "run"
+    workers = effective_jobs(args.jobs, None)
+
+    def body() -> int:
+        outcome = run_sweep(
+            spec,
+            jobs=args.jobs,
+            resume=args.resume,
+            cache=False if args.no_cache else None,
+            cache_dir=args.cache_dir,
+            log=lambda message: print(message, file=sys.stderr),
+        )
+        print(
+            f"sweep {outcome.sweep_id}: "
+            f"{len(outcome.executed)} cells simulated, "
+            f"{len(outcome.ledger_hits)} ledger hits (jobs {workers})",
+            file=sys.stderr,
+        )
+        print(outcome.report.render())
+        return 0
+
+    # The run-level manifest carries the sweep id with a null cell index;
+    # per-cell manifests live under the ledger's cells/ directory.
+    trace_path = getattr(args, "trace", None)
+    with obs.collecting() as registry, obs.tracing() as tracer:
+        with obs.span("cli.sweep"):
+            code = body()
+        manifest = obs.build_manifest(
+            "sweep",
+            config=spec.base,
+            registry=registry,
+            tracer=tracer,
+            sweep=sweep_provenance(spec),
+        )
+    if getattr(args, "metrics", False):
+        print(obs.render_metrics(registry.summary()), file=sys.stderr)
+    if trace_path is not None:
+        obs.write_manifest(trace_path, manifest)
+        print(f"wrote {trace_path}", file=sys.stderr)
+    return code
+
+
 def _command_profile(args: argparse.Namespace) -> int:
     config = StudyConfig(seed=args.seed, calendar=_calendar_for(args.weeks))
     trace_path = getattr(args, "trace", None)
@@ -589,6 +768,7 @@ _COMMANDS = {
     "sensitivity": _command_sensitivity,
     "cache": _command_cache,
     "conformance": _command_conformance,
+    "sweep": _command_sweep,
     "profile": _command_profile,
 }
 

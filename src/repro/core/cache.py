@@ -74,6 +74,17 @@ def cache_enabled() -> bool:
     return not os.environ.get(CACHE_DISABLE_ENV)
 
 
+def sweeps_root(root: str | Path | None = None) -> Path:
+    """Where sweep ledgers live: ``<cache root>/sweeps``.
+
+    Sweep state sits next to the study cache on purpose: the ledger is
+    exactly as disposable as the cached simulation results it indexes,
+    and one ``REPRO_CACHE_DIR`` override relocates both.
+    """
+    base = Path(root).expanduser() if root is not None else default_cache_dir()
+    return base / "sweeps"
+
+
 # -- config fingerprinting -----------------------------------------------------
 
 
@@ -110,6 +121,11 @@ def _canonical(value: Any) -> Any:
     # Last resort: repr keeps unknown types *distinguishable* so differing
     # configs never silently collide on one cache entry.
     return {"__repr__": repr(value)}
+
+
+def canonical(value: Any) -> Any:
+    """Public canonicalisation hook (sweep specs fingerprint through it)."""
+    return _canonical(value)
 
 
 def config_fingerprint(config: Any) -> str:

@@ -175,6 +175,13 @@ class ConformanceReport:
                 return result
         raise KeyError(check_id)
 
+    def statuses(self) -> dict[str, str]:
+        """``check id -> "pass"/"fail"/"skip"`` — the sweep-cell payload."""
+        return {
+            result.check.check_id: result.status.value
+            for result in self.results
+        }
+
     def render(self) -> str:
         """Human-readable conformance report."""
         status = "CONFORMS" if self.ok else "NON-CONFORMANT"

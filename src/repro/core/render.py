@@ -49,6 +49,11 @@ def format_percent(value: float, digits: int = 1) -> str:
     return f"{value * 100:.{digits}f}%"
 
 
+def format_fraction(count: int, total: int) -> str:
+    """``(9, 10)`` -> ``'9/10'`` — ensemble stability fractions."""
+    return f"{int(count)}/{int(total)}"
+
+
 def format_matrix(
     labels: list[str], matrix: np.ndarray, digits: int = 2
 ) -> str:

@@ -67,11 +67,18 @@ def build_manifest(
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
     argv: list[str] | None = None,
+    sweep: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Assemble the manifest document for one observed run."""
+    """Assemble the manifest document for one observed run.
+
+    ``sweep`` is the optional provenance block a sweep-scheduled run
+    carries (``sweep_id``, ``cell_index``, ``spec_fingerprint``; see
+    :func:`repro.sweep.scheduler.sweep_provenance`) — omitted entirely
+    for standalone runs.
+    """
     from repro.core.cache import CACHE_SCHEMA_VERSION
 
-    return {
+    manifest = {
         "manifest_schema": MANIFEST_SCHEMA_VERSION,
         "cache_schema": CACHE_SCHEMA_VERSION,
         "command": command,
@@ -82,6 +89,9 @@ def build_manifest(
         "metrics": (registry or MetricsRegistry()).summary(),
         "spans": (tracer.root if tracer is not None else SpanNode("")).to_dict(),
     }
+    if sweep is not None:
+        manifest["sweep"] = dict(sweep)
+    return manifest
 
 
 def write_manifest(path: str | Path, manifest: dict[str, Any]) -> Path:

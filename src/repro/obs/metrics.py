@@ -133,10 +133,15 @@ class Histogram:
         position = q * (len(ordered) - 1)
         low = int(math.floor(position))
         high = int(math.ceil(position))
-        if low == high:
-            return ordered[low]
+        low_value, high_value = ordered[low], ordered[high]
+        if low == high or low_value == high_value:
+            return low_value
         fraction = position - low
-        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+        # low + f*(high-low) rounds monotonically in f (unlike the
+        # a*(1-f) + b*f form, which can dip below a for f > 0), and the
+        # clamp keeps the result inside the bracketing observations.
+        value = low_value + fraction * (high_value - low_value)
+        return min(max(value, low_value), high_value)
 
     def summary(self) -> dict[str, float | int]:
         """Manifest-sized digest of the distribution."""

@@ -1,0 +1,221 @@
+"""Named scenario presets: the ensembles the repo ships ready-made.
+
+These replace the reduced-scale ``StudyConfig`` literals that used to be
+copy-pasted across ``benchmarks/``: a benchmark (or ``ddoscovery sweep
+run --preset NAME``) asks for the preset and gets the exact same
+configurations the hand-rolled code used to build, now with ledger
+resume, caching, and ensemble reports for free.
+
+``seed-robustness``
+    Three-seed ensemble of the reduced 4-year study the
+    ``EXT_seed_robustness`` benchmark runs (new world per seed).
+``scale-ladder``
+    One-year window at three plan/rate scales — how conclusions move as
+    the simulated Internet grows.
+``ablation-carpet``
+    The Appendix-I carpet-aggregation toggle on the 2022 window.
+``ablation-interventions``
+    Booter-takedown and paper-outage toggles on the reduced 4-year
+    window (2x2 grid).
+``smoke``
+    2 seeds x 2 scales on a ~20-week window; small enough for tier-1
+    tests and ``make sweep-smoke``.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Callable
+
+from repro.net.plan import PlanConfig
+from repro.sweep.spec import Axis, AxisPoint, ScenarioSpec, axis, seed_axis
+from repro.util.calendar import StudyCalendar
+
+#: The reduced 4-year window shared by the robustness/intervention presets.
+REDUCED_FOUR_YEARS = StudyCalendar(_dt.date(2019, 1, 1), _dt.date(2022, 12, 31))
+
+#: One-year windows used by the ablation benchmarks.
+ABLATION_2019 = StudyCalendar(_dt.date(2019, 1, 1), _dt.date(2019, 12, 31))
+ABLATION_2022 = StudyCalendar(_dt.date(2022, 1, 1), _dt.date(2022, 12, 31))
+
+#: Tail-AS count of the reduced ablation substrate (plan seed 0).
+ABLATION_TAIL_AS_COUNT = 80
+
+#: A ~20-week window: the smallest the CLI accepts (15-week baseline).
+SMOKE_CALENDAR = StudyCalendar(_dt.date(2019, 1, 1), _dt.date(2019, 5, 21))
+
+
+def ablation_substrate(
+    dp_per_day: float, ra_per_day: float, calendar: StudyCalendar = ABLATION_2019
+):
+    """The reduced one-year substrate the ablation benchmarks share.
+
+    ``repro.util.parallel.build_models`` over this config reproduces the
+    plan/landscape/campaign triple those benchmarks used to hand-roll
+    from duplicated literals (seed 0, 80 tail ASes).
+    """
+    from repro.core.study import StudyConfig
+
+    return StudyConfig(
+        seed=0,
+        calendar=calendar,
+        dp_per_day=dp_per_day,
+        ra_per_day=ra_per_day,
+        plan=PlanConfig(seed=0, tail_as_count=ABLATION_TAIL_AS_COUNT),
+    )
+
+
+def _seed_robustness() -> ScenarioSpec:
+    from repro.core.study import StudyConfig
+
+    return ScenarioSpec(
+        name="seed-robustness",
+        description=(
+            "Reduced 4-year study under a seed ensemble: do the Table-1 "
+            "symbols, slopes, and overlap orderings survive re-rolling "
+            "the world?"
+        ),
+        base=StudyConfig(
+            seed=1,
+            calendar=REDUCED_FOUR_YEARS,
+            dp_per_day=50.0,
+            ra_per_day=40.0,
+            plan=PlanConfig(seed=1, tail_as_count=200),
+        ),
+        axes=(seed_axis((1, 2, 3)),),
+    )
+
+
+def _scale_ladder() -> ScenarioSpec:
+    from repro.core.study import StudyConfig
+
+    rungs = (
+        ("small", 60, 20.0, 15.0),
+        ("medium", 120, 40.0, 30.0),
+        ("large", 240, 80.0, 60.0),
+    )
+    return ScenarioSpec(
+        name="scale-ladder",
+        description=(
+            "One-year window at three plan/rate scales: which findings "
+            "are artefacts of simulation size?"
+        ),
+        base=StudyConfig(
+            seed=0,
+            calendar=ABLATION_2019,
+            plan=PlanConfig(seed=0, tail_as_count=120),
+        ),
+        axes=(
+            Axis(
+                name="scale",
+                points=tuple(
+                    AxisPoint.of(
+                        label,
+                        {
+                            "plan.tail_as_count": tail,
+                            "dp_per_day": dp,
+                            "ra_per_day": ra,
+                        },
+                    )
+                    for label, tail, dp, ra in rungs
+                ),
+            ),
+        ),
+    )
+
+
+def _ablation_carpet() -> ScenarioSpec:
+    base = ablation_substrate(30.0, 40.0, calendar=ABLATION_2022)
+    return ScenarioSpec(
+        name="ablation-carpet",
+        description=(
+            "Appendix-I carpet-bombing aggregation on/off over the 2022 "
+            "window (the SSDP carpet wave)."
+        ),
+        base=base,
+        axes=(
+            Axis(
+                name="carpet",
+                points=(
+                    AxisPoint.of("aggregated", {"aggregate_carpet": True}),
+                    AxisPoint.of("per-ip", {"aggregate_carpet": False}),
+                ),
+            ),
+        ),
+    )
+
+
+def _ablation_interventions() -> ScenarioSpec:
+    from repro.core.study import StudyConfig
+
+    return ScenarioSpec(
+        name="ablation-interventions",
+        description=(
+            "Booter takedowns and platform dark windows toggled "
+            "independently on the reduced 4-year study."
+        ),
+        base=StudyConfig(
+            seed=1,
+            calendar=REDUCED_FOUR_YEARS,
+            dp_per_day=50.0,
+            ra_per_day=40.0,
+            plan=PlanConfig(seed=1, tail_as_count=200),
+        ),
+        axes=(
+            axis("takedowns", "include_takedowns", (True, False)),
+            axis("outages", "paper_outages", (True, False)),
+        ),
+    )
+
+
+def _smoke() -> ScenarioSpec:
+    from repro.core.study import StudyConfig
+
+    return ScenarioSpec(
+        name="smoke",
+        description=(
+            "2 seeds x 2 scales on a ~20-week window; exercises every "
+            "sweep layer in seconds."
+        ),
+        base=StudyConfig(
+            seed=0,
+            calendar=SMOKE_CALENDAR,
+            dp_per_day=20.0,
+            ra_per_day=15.0,
+            plan=PlanConfig(seed=0, tail_as_count=60),
+        ),
+        axes=(
+            seed_axis((0, 1)),
+            Axis(
+                name="scale",
+                points=(
+                    AxisPoint.of("s", {"dp_per_day": 20.0, "ra_per_day": 15.0}),
+                    AxisPoint.of("m", {"dp_per_day": 30.0, "ra_per_day": 22.0}),
+                ),
+            ),
+        ),
+    )
+
+
+PRESETS: dict[str, Callable[[], ScenarioSpec]] = {
+    "seed-robustness": _seed_robustness,
+    "scale-ladder": _scale_ladder,
+    "ablation-carpet": _ablation_carpet,
+    "ablation-interventions": _ablation_interventions,
+    "smoke": _smoke,
+}
+
+
+def preset_names() -> list[str]:
+    return sorted(PRESETS)
+
+
+def preset(name: str) -> ScenarioSpec:
+    """Look up a named preset; raises ``KeyError`` with the valid names."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep preset {name!r}; available: {preset_names()}"
+        ) from None
+    return factory()

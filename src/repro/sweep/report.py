@@ -1,0 +1,396 @@
+"""Ensemble aggregation: per-cell extraction and the sweep report.
+
+:func:`extract_cell` reduces one fully-run
+:class:`~repro.core.study.Study` to a JSON-serialisable
+:class:`CellResult` — Table-1 trend symbols and relative changes,
+full-window slopes, per-year normalised means, the Figure-6 Spearman
+structure, conformance verdicts, and the headline target-overlap shares.
+Those payloads live in the run ledger, so aggregation never touches a
+simulation again.
+
+:class:`SweepReport` reduces the ensemble: trend-symbol *stability
+fractions* per observatory ("UCSD is ▲ in 3/3 seeds"), median/IQR bands
+for slopes and correlations, correlation sign stability, and a
+conformance pass-rate table.  Rendering goes through
+:mod:`repro.core.render`, so sweep artefacts look like every other
+checked-in artefact.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.render import format_fraction, format_table
+from repro.core.trends import classify_trend
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.study import Study
+    from repro.sweep.spec import SweepCell
+
+#: Weeks per aggregation "year" in :func:`year_chunk_means`.
+YEAR_WEEKS = 52
+
+_PAIR_SEP = "|"
+
+
+def year_chunk_means(normalized: np.ndarray) -> list[float]:
+    """Mean of the normalised series per 52-week chunk.
+
+    The final chunk absorbs the partial tail (a 209-week window yields
+    four chunks, the last covering weeks 156..208), matching how the
+    seed-robustness benchmark compared "2020" against "2022 onward".
+    """
+    normalized = np.asarray(normalized, dtype=np.float64)
+    n_chunks = max(1, len(normalized) // YEAR_WEEKS)
+    means = []
+    for chunk in range(n_chunks):
+        start = chunk * YEAR_WEEKS
+        stop = (chunk + 1) * YEAR_WEEKS if chunk < n_chunks - 1 else len(normalized)
+        means.append(float(normalized[start:stop].mean()))
+    return means
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Everything a sweep aggregates from one cell, JSON-round-trippable."""
+
+    index: int
+    cell_id: str
+    labels: dict[str, str]
+    config_fingerprint: str
+    window: str
+    n_weeks: int
+    seed: int
+    #: per main-series label: {"symbol", "change", "slope_per_year"}
+    trends: dict[str, dict[str, Any]]
+    #: per main-series label: normalised mean per 52-week chunk
+    year_means: dict[str, list[float]]
+    #: "A|B" -> Spearman coefficient over the normalised series
+    correlation: dict[str, float]
+    #: conformance check id -> "pass" / "fail" / "skip"
+    conformance: dict[str, str]
+    conformance_ok: bool
+    #: headline scalars: upset shares, all-four share, RA/DP crossing
+    headline: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "cell_id": self.cell_id,
+            "labels": dict(self.labels),
+            "config_fingerprint": self.config_fingerprint,
+            "window": self.window,
+            "n_weeks": self.n_weeks,
+            "seed": self.seed,
+            "trends": self.trends,
+            "year_means": self.year_means,
+            "correlation": self.correlation,
+            "conformance": self.conformance,
+            "conformance_ok": self.conformance_ok,
+            "headline": self.headline,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict[str, Any]) -> "CellResult":
+        return CellResult(
+            index=int(payload["index"]),
+            cell_id=str(payload["cell_id"]),
+            labels={str(k): str(v) for k, v in payload["labels"].items()},
+            config_fingerprint=str(payload["config_fingerprint"]),
+            window=str(payload["window"]),
+            n_weeks=int(payload["n_weeks"]),
+            seed=int(payload["seed"]),
+            trends=payload["trends"],
+            year_means=payload["year_means"],
+            correlation=payload["correlation"],
+            conformance=payload["conformance"],
+            conformance_ok=bool(payload["conformance_ok"]),
+            headline=payload["headline"],
+        )
+
+    def describe(self) -> str:
+        if not self.labels:
+            return "(base)"
+        return " ".join(f"{k}={v}" for k, v in self.labels.items())
+
+
+def extract_cell(study: "Study", cell: "SweepCell") -> CellResult:
+    """Reduce one fully-run study to its sweep payload."""
+    from repro.obs import span
+
+    with span("sweep.extract"):
+        series = study.main_series()
+        trends: dict[str, dict[str, Any]] = {}
+        year_means: dict[str, list[float]] = {}
+        for label, weekly in series.items():
+            classification = classify_trend(weekly.normalized)
+            trends[label] = {
+                "symbol": classification.symbol,
+                "change": float(classification.relative_change),
+                "slope_per_year": float(weekly.trend_line().slope_per_year),
+            }
+            year_means[label] = year_chunk_means(weekly.normalized)
+
+        matrix = study.figure6().normalized
+        correlation: dict[str, float] = {}
+        for i, a in enumerate(matrix.labels):
+            for j in range(i + 1, len(matrix.labels)):
+                correlation[f"{a}{_PAIR_SEP}{matrix.labels[j]}"] = float(
+                    matrix.coefficients[i, j]
+                )
+
+        conformance_report = study.conformance()
+        upset = study.figure7()
+        headline: dict[str, Any] = {
+            "set_shares": {
+                name: float(share) for name, share in upset.set_shares.items()
+            },
+            "all_four_share": float(upset.seen_by_all().share),
+            "ra_dp_crossing": study.figure5().last_crossing_quarter(),
+        }
+        return CellResult(
+            index=cell.index,
+            cell_id=cell.cell_id,
+            labels=cell.label_map,
+            config_fingerprint=cell.config_fingerprint,
+            window=f"{study.calendar.start}..{study.calendar.end}",
+            n_weeks=int(study.calendar.n_weeks),
+            seed=int(study.config.seed),
+            trends=trends,
+            year_means=year_means,
+            correlation=correlation,
+            conformance=conformance_report.statuses(),
+            conformance_ok=bool(conformance_report.ok),
+            headline=headline,
+        )
+
+
+# -- aggregation ---------------------------------------------------------------
+
+
+def _median_iqr(values: list[float]) -> tuple[float, float, float]:
+    """(median, q1, q3) via the ``statistics`` inclusive quantile method."""
+    if len(values) == 1:
+        return values[0], values[0], values[0]
+    q1, q2, q3 = statistics.quantiles(values, n=4, method="inclusive")
+    return q2, q1, q3
+
+
+@dataclass
+class TrendStability:
+    """One observatory's symbol distribution across the ensemble."""
+
+    label: str
+    counts: dict[str, int]  # symbol -> cells
+    modal_symbol: str
+    stable_fraction: float
+    median_change: float
+
+
+@dataclass
+class SweepReport:
+    """Aggregated view of one completed (or partial) sweep."""
+
+    name: str
+    sweep_id: str
+    spec_fingerprint: str
+    n_cells: int
+    cells: list[CellResult] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.cells) == self.n_cells
+
+    # -- reductions --------------------------------------------------------------
+
+    def series_labels(self) -> list[str]:
+        """Main-series labels, in the order the first cell reports them."""
+        return list(self.cells[0].trends) if self.cells else []
+
+    def trend_stability(self) -> list[TrendStability]:
+        """Per observatory: how stable the Table-1 symbol is across cells."""
+        rows = []
+        for label in self.series_labels():
+            symbols = [cell.trends[label]["symbol"] for cell in self.cells]
+            changes = [float(cell.trends[label]["change"]) for cell in self.cells]
+            counts: dict[str, int] = {}
+            for symbol in symbols:
+                counts[symbol] = counts.get(symbol, 0) + 1
+            modal = max(counts, key=lambda s: (counts[s], s))
+            rows.append(
+                TrendStability(
+                    label=label,
+                    counts=counts,
+                    modal_symbol=modal,
+                    stable_fraction=counts[modal] / len(symbols),
+                    median_change=_median_iqr(changes)[0],
+                )
+            )
+        return rows
+
+    def slope_bands(self) -> dict[str, tuple[float, float, float]]:
+        """Median/IQR of the full-window slope per observatory."""
+        return {
+            label: _median_iqr(
+                [float(cell.trends[label]["slope_per_year"]) for cell in self.cells]
+            )
+            for label in self.series_labels()
+        }
+
+    def correlation_bands(self) -> dict[str, tuple[float, float, float, float]]:
+        """Per pair: (median, q1, q3, sign-stability fraction)."""
+        if not self.cells:
+            return {}
+        out = {}
+        for pair in self.cells[0].correlation:
+            values = [float(cell.correlation[pair]) for cell in self.cells]
+            median, q1, q3 = _median_iqr(values)
+            reference = 1.0 if median >= 0 else -1.0
+            stable = sum(1 for v in values if v * reference >= 0) / len(values)
+            out[pair] = (median, q1, q3, stable)
+        return out
+
+    def conformance_rates(self) -> dict[str, dict[str, int]]:
+        """Per check id: pass/fail/skip counts across the ensemble."""
+        rates: dict[str, dict[str, int]] = {}
+        for cell in self.cells:
+            for check_id, status in cell.conformance.items():
+                bucket = rates.setdefault(
+                    check_id, {"pass": 0, "fail": 0, "skip": 0}
+                )
+                bucket[status] = bucket.get(status, 0) + 1
+        return rates
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render(self) -> str:
+        """The sweep artefact: stability tables over the whole ensemble."""
+        n = len(self.cells)
+        lines = [
+            f"sweep report: {self.name}",
+            f"  sweep id   {self.sweep_id}",
+            f"  spec       {self.spec_fingerprint[:16]}",
+            f"  cells      {n}/{self.n_cells}"
+            + ("" if self.complete else "  (PARTIAL)"),
+        ]
+        if not self.cells:
+            lines.append("")
+            lines.append("(no completed cells)")
+            return "\n".join(lines)
+        lines.append(f"  window     {self.cells[0].window}")
+        lines.append("")
+
+        lines.append("cells:")
+        for cell in self.cells:
+            verdict = "conforms" if cell.conformance_ok else "NON-CONFORMANT"
+            lines.append(
+                f"  [{cell.index:3d}] {cell.describe():28s} "
+                f"seed {cell.seed:<3d} {verdict}"
+            )
+        lines.append("")
+
+        lines.append("trend-symbol stability (Table 1):")
+        slope_bands = self.slope_bands()
+        rows = []
+        for row in self.trend_stability():
+            median, q1, q3 = slope_bands[row.label]
+            histogram = " ".join(
+                f"{symbol}:{count}" for symbol, count in sorted(row.counts.items())
+            )
+            rows.append(
+                [
+                    row.label,
+                    f"{row.modal_symbol} in {format_fraction(row.counts[row.modal_symbol], n)}",
+                    histogram,
+                    f"{row.median_change:+.3f}",
+                    f"{median:+.3f} [{q1:+.3f}..{q3:+.3f}]",
+                ]
+            )
+        lines.append(
+            format_table(
+                ["series", "stable symbol", "symbols", "med Δ4y", "slope/yr med [IQR]"],
+                rows,
+            )
+        )
+        lines.append("")
+
+        correlation = self.correlation_bands()
+        if correlation:
+            signs = [1 for _, (m, _, _, s) in correlation.items() if m >= 0]
+            fully_stable = sum(
+                1 for _, (_, _, _, s) in correlation.items() if s == 1.0
+            )
+            lines.append(
+                f"correlation structure (Figure 6): {len(correlation)} pairs, "
+                f"{len(signs)} with median >= 0, sign stable across all cells "
+                f"in {format_fraction(fully_stable, len(correlation))}"
+            )
+            ranked = sorted(correlation.items(), key=lambda kv: -abs(kv[1][0]))
+            rows = [
+                [
+                    pair.replace(_PAIR_SEP, " ~ "),
+                    f"{median:+.2f}",
+                    f"[{q1:+.2f}..{q3:+.2f}]",
+                    format_fraction(round(stable * n), n),
+                ]
+                for pair, (median, q1, q3, stable) in ranked[:10]
+            ]
+            lines.append(
+                format_table(
+                    ["strongest pairs", "median", "IQR", "sign stable"], rows
+                )
+            )
+            lines.append("")
+
+        rates = self.conformance_rates()
+        if rates:
+            n_always_pass = sum(
+                1 for counts in rates.values() if counts["pass"] == n
+            )
+            lines.append(
+                f"conformance pass rates: {n_always_pass}/{len(rates)} checks "
+                f"pass in every cell"
+            )
+            rows = [
+                [
+                    check_id,
+                    format_fraction(counts["pass"], n),
+                    format_fraction(counts["fail"], n),
+                    format_fraction(counts["skip"], n),
+                ]
+                for check_id, counts in rates.items()
+                if counts["fail"] or counts["pass"]
+            ]
+            lines.append(format_table(["check", "pass", "fail", "skip"], rows))
+            lines.append("")
+
+        lines.append("headline medians:")
+        all_four = [
+            float(cell.headline["all_four_share"]) for cell in self.cells
+        ]
+        median, q1, q3 = _median_iqr(all_four)
+        lines.append(
+            f"  all-four target share  {median * 100:.2f}% "
+            f"[{q1 * 100:.2f}%..{q3 * 100:.2f}%]"
+        )
+        shares: dict[str, list[float]] = {}
+        for cell in self.cells:
+            for name, share in cell.headline["set_shares"].items():
+                shares.setdefault(name, []).append(float(share))
+        for name, values in shares.items():
+            median, q1, q3 = _median_iqr(values)
+            lines.append(
+                f"  {name:<22s} {median * 100:.1f}% "
+                f"[{q1 * 100:.1f}%..{q3 * 100:.1f}%] of targets"
+            )
+        crossings = [cell.headline.get("ra_dp_crossing") for cell in self.cells]
+        named = sorted({c for c in crossings if c})
+        lines.append(
+            "  RA/DP 50% crossing     "
+            + (", ".join(named) if named else "none in window")
+        )
+        return "\n".join(lines)

@@ -1,0 +1,231 @@
+"""The sweep scheduler: expand, resume, execute, aggregate.
+
+:func:`run_sweep` is the one entry point: it expands a
+:class:`~repro.sweep.spec.ScenarioSpec` into cells, consults the run
+ledger (:mod:`repro.sweep.ledger`) for already-completed cells, and
+executes the remainder *in cell order* through the existing machinery —
+each cell is a :class:`~repro.core.study.Study` whose simulation runs on
+the sharded executor (``jobs`` workers via
+:func:`repro.util.parallel.effective_jobs`) behind the content-addressed
+study cache.  Completed cells append their extracted
+:class:`~repro.sweep.report.CellResult` to the ledger before the next
+cell starts, so a kill at any point loses at most the in-flight cell.
+
+Determinism contract: cell order, cell ids, per-cell simulation output,
+and the rendered :class:`~repro.sweep.report.SweepReport` are identical
+for any ``--jobs`` value and any interrupt/resume history, because the
+report is always built from ledger payloads alone.
+
+Observability: each cell runs in its own collection context; its
+metrics/span payload is absorbed into the surrounding context (exactly
+like shard payloads) and written as a per-cell run manifest carrying
+sweep provenance (sweep id, cell index, spec fingerprint).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro import obs
+from repro.core.study import Study
+from repro.sweep.ledger import LedgerState, SweepLedger
+from repro.sweep.report import CellResult, SweepReport, extract_cell
+from repro.sweep.spec import ScenarioSpec, SweepCell, expand
+from repro.util.parallel import effective_jobs
+
+Log = Callable[[str], None]
+
+
+def _silent(_: str) -> None:
+    return None
+
+
+@dataclass
+class SweepOutcome:
+    """What one ``run_sweep`` invocation did."""
+
+    sweep_id: str
+    ledger: SweepLedger
+    report: SweepReport | None = None
+    executed: list[int] = field(default_factory=list)
+    ledger_hits: list[int] = field(default_factory=list)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.executed) + len(self.ledger_hits)
+
+
+def sweep_provenance(
+    spec_or_ledger: ScenarioSpec | SweepLedger, cell_index: int | None = None
+) -> dict:
+    """The manifest provenance block: sweep id, cell index, spec print."""
+    ledger = (
+        spec_or_ledger
+        if isinstance(spec_or_ledger, SweepLedger)
+        else SweepLedger(spec_or_ledger)
+    )
+    return {
+        "sweep_id": ledger.sweep_id,
+        "cell_index": cell_index,
+        "spec_fingerprint": ledger.spec_fingerprint,
+    }
+
+
+def run_cell(
+    cell: SweepCell,
+    *,
+    jobs: int | None = 1,
+    cache: bool | None = None,
+    cache_dir: str | Path | None = None,
+) -> CellResult:
+    """Execute one cell: simulate (sharded, cached) and extract."""
+    study = Study(cell.config, jobs=jobs, cache=cache, cache_dir=cache_dir)
+    study.observations
+    return extract_cell(study, cell)
+
+
+def run_sweep(
+    spec: ScenarioSpec,
+    *,
+    jobs: int | None = 1,
+    resume: bool = True,
+    cache: bool | None = None,
+    cache_dir: str | Path | None = None,
+    sweep_dir: str | Path | None = None,
+    write_manifests: bool = True,
+    log: Log = _silent,
+) -> SweepOutcome:
+    """Run (or resume) a sweep to completion and aggregate it.
+
+    ``resume=True`` replays completed cells from the ledger without
+    recomputation; ``resume=False`` resets the ledger first.  ``jobs``
+    shards each cell's simulation; cells themselves run sequentially in
+    cell order, which keeps the ledger append order — and with it the
+    report — deterministic.  ``cache``/``cache_dir`` are forwarded to
+    each cell's :class:`~repro.core.study.Study`; ``sweep_dir``
+    overrides where the ledger lives (default: the study cache root).
+    """
+    cells = expand(spec)
+    ledger = SweepLedger(spec, root=sweep_dir if sweep_dir is not None else cache_dir)
+    if not resume:
+        ledger.reset()
+    state = ledger.read()
+    if state.header is None:
+        ledger.write_header(len(cells))
+        state = LedgerState(header=None, cells=state.cells)
+
+    workers = effective_jobs(jobs, None)
+    log(
+        f"sweep {ledger.sweep_id}: {len(cells)} cells, "
+        f"{len(state.completed & {c.index for c in cells})} already in ledger, "
+        f"jobs {workers}"
+    )
+
+    outcome = SweepOutcome(sweep_id=ledger.sweep_id, ledger=ledger)
+    with obs.span("sweep.run"):
+        obs.gauge("sweep.cells").set(len(cells))
+        for cell in cells:
+            if cell.index in state.cells:
+                record = state.cells[cell.index]
+                if record.get("config_fingerprint") != cell.config_fingerprint:
+                    # Defensive: ledger passed fingerprint validation, so a
+                    # per-cell mismatch means a hand-edited file; recompute.
+                    log(f"cell {cell.index}: ledger record stale, re-running")
+                else:
+                    outcome.ledger_hits.append(cell.index)
+                    obs.counter("sweep.cells.ledger_hits").inc()
+                    log(f"cell {cell.index} [{cell.describe()}]: ledger hit")
+                    continue
+            started = time.perf_counter()
+            with obs.collecting() as registry, obs.tracing() as tracer:
+                with obs.span("sweep.cell"):
+                    result = run_cell(
+                        cell, jobs=jobs, cache=cache, cache_dir=cache_dir
+                    )
+                snapshot, tree = registry.snapshot(), tracer.tree()
+            obs.absorb(snapshot, tree)
+            elapsed = time.perf_counter() - started
+            if write_manifests:
+                manifest = obs.build_manifest(
+                    "sweep-cell",
+                    config=cell.config,
+                    registry=registry,
+                    tracer=tracer,
+                    sweep=sweep_provenance(ledger, cell.index),
+                )
+                ledger.cells_dir.mkdir(parents=True, exist_ok=True)
+                obs.write_manifest(ledger.manifest_path(cell.index), manifest)
+            ledger.append_cell(
+                index=cell.index,
+                cell_id=cell.cell_id,
+                labels=cell.label_map,
+                config_fingerprint=cell.config_fingerprint,
+                elapsed_s=elapsed,
+                result=result.to_dict(),
+            )
+            outcome.executed.append(cell.index)
+            obs.counter("sweep.cells.executed").inc()
+            log(
+                f"cell {cell.index} [{cell.describe()}]: "
+                f"simulated in {elapsed:.1f}s"
+            )
+    outcome.report = load_report(spec, sweep_dir=sweep_dir if sweep_dir is not None else cache_dir)
+    return outcome
+
+
+def sweep_status(
+    spec: ScenarioSpec, *, sweep_dir: str | Path | None = None
+) -> dict:
+    """Ledger-only progress view (never simulates)."""
+    cells = expand(spec)
+    ledger = SweepLedger(spec, root=sweep_dir)
+    state = ledger.read()
+    done = sorted(index for index in state.completed if index < len(cells))
+    pending = [cell.index for cell in cells if cell.index not in state.completed]
+    return {
+        "sweep_id": ledger.sweep_id,
+        "spec_fingerprint": ledger.spec_fingerprint,
+        "ledger_path": str(ledger.path),
+        "n_cells": len(cells),
+        "done": done,
+        "pending": pending,
+        "cells": [
+            {
+                "index": cell.index,
+                "cell_id": cell.cell_id,
+                "labels": cell.label_map,
+                "status": "done" if cell.index in state.completed else "pending",
+                "elapsed_s": state.cells.get(cell.index, {}).get("elapsed_s"),
+            }
+            for cell in cells
+        ],
+    }
+
+
+def load_report(
+    spec: ScenarioSpec, *, sweep_dir: str | Path | None = None
+) -> SweepReport:
+    """Build the sweep report from the ledger alone.
+
+    Every report — mid-flight, post-resume, or after an uninterrupted
+    run — comes through here, which is what makes the rendered output
+    independent of how the sweep reached completion.
+    """
+    cells = expand(spec)
+    ledger = SweepLedger(spec, root=sweep_dir)
+    state = ledger.read()
+    results = [
+        CellResult.from_dict(state.cells[cell.index]["result"])
+        for cell in cells
+        if cell.index in state.cells
+    ]
+    return SweepReport(
+        name=spec.name,
+        sweep_id=ledger.sweep_id,
+        spec_fingerprint=ledger.spec_fingerprint,
+        n_cells=len(cells),
+        cells=results,
+    )

@@ -94,6 +94,21 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+def effective_jobs(jobs: int | None, units: int | None = None) -> int:
+    """The single worker-count resolution used by every executor.
+
+    Resolves a ``--jobs`` request (``None``/``0`` = one per CPU) and
+    clamps it to the number of schedulable ``units`` (shards, sweep
+    cells).  The CLI, the shard executor, and the sweep scheduler all
+    route through here so a request can never resolve to different
+    counts in different layers.
+    """
+    workers = resolve_jobs(jobs)
+    if units is not None:
+        workers = min(workers, max(1, units))
+    return max(1, workers)
+
+
 # -- model substrate (read-only, memoised per process) -------------------------
 
 
@@ -250,7 +265,7 @@ def simulate(
     """
     width = shard_days if shard_days is not None else DEFAULT_SHARD_DAYS
     shards = plan_shards(config.calendar.n_days, width)
-    workers = min(resolve_jobs(jobs), len(shards))
+    workers = effective_jobs(jobs, len(shards))
     tasks = [(config, start, stop) for start, stop in shards]
     with span("simulate"):
         gauge("simulate.shards").set(len(shards))

@@ -13,6 +13,7 @@ from repro.observatories.base import OBSERVATION_COLUMNS
 from repro.util.calendar import StudyCalendar
 from repro.util.parallel import (
     DEFAULT_SHARD_DAYS,
+    effective_jobs,
     merge_shard_results,
     plan_shards,
     resolve_jobs,
@@ -82,6 +83,20 @@ class TestResolveJobs:
     def test_auto_detect_is_positive(self):
         assert resolve_jobs(None) >= 1
         assert resolve_jobs(0) >= 1
+
+
+class TestEffectiveJobs:
+    def test_clamps_to_work_units(self):
+        assert effective_jobs(8, units=3) == 3
+        assert effective_jobs(2, units=3) == 2
+
+    def test_zero_units_still_yields_one_worker(self):
+        assert effective_jobs(4, units=0) == 1
+
+    def test_no_units_matches_resolve_jobs(self):
+        assert effective_jobs(5) == 5
+        assert effective_jobs(None) == resolve_jobs(None)
+        assert effective_jobs(0, units=10) == min(resolve_jobs(0), 10)
 
 
 @pytest.fixture(scope="module")

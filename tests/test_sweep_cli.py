@@ -1,0 +1,185 @@
+"""The ``ddoscovery sweep`` command and sweep manifest provenance."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs import build_manifest, load_manifest, validate_manifest, write_manifest
+
+SCHEMA = json.loads(
+    (Path(__file__).parent / "manifest_schema.json").read_text(encoding="utf-8")
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_sweep(tmp_path_factory):
+    """One completed ``smoke`` sweep the CLI tests below interrogate."""
+    root = tmp_path_factory.mktemp("sweep-cli")
+    trace = root / "run-manifest.json"
+    code = main(
+        [
+            "sweep",
+            "run",
+            "--preset",
+            "smoke",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(root),
+            "--trace",
+            str(trace),
+        ]
+    )
+    assert code == 0
+    return root
+
+
+class TestList:
+    def test_lists_presets_with_cell_counts(self, capsys):
+        assert main(["sweep", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "seed-robustness" in output
+        assert "smoke" in output
+        assert "cells" in output or "4" in output
+
+
+class TestRun:
+    def test_run_prints_stability_report(self, smoke_sweep, capsys):
+        # The module fixture already ran; a resumed run is pure ledger.
+        code = main(
+            [
+                "sweep",
+                "run",
+                "--preset",
+                "smoke",
+                "--resume",
+                "--cache-dir",
+                str(smoke_sweep),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "4 ledger hits" in captured.err
+        assert "0 cells simulated" in captured.err
+        assert "trend-symbol stability (Table 1):" in captured.out
+        assert "headline medians:" in captured.out
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit, match="unknown sweep preset"):
+            main(["sweep", "run", "--preset", "nope"])
+
+
+class TestStatus:
+    def test_status_shows_completed_cells(self, smoke_sweep, capsys):
+        assert (
+            main(
+                ["sweep", "status", "--preset", "smoke", "--cache-dir", str(smoke_sweep)]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "4/4 done, 0 pending" in output
+        assert "seed=0 scale=s" in output
+
+    def test_status_on_fresh_dir_is_all_pending(self, tmp_path, capsys):
+        assert (
+            main(["sweep", "status", "--preset", "smoke", "--cache-dir", str(tmp_path)])
+            == 0
+        )
+        assert "0/4 done, 4 pending" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_renders_and_writes(self, smoke_sweep, tmp_path, capsys):
+        out = tmp_path / "artefacts" / "stability.txt"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "report",
+                    "--preset",
+                    "smoke",
+                    "--cache-dir",
+                    str(smoke_sweep),
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert out.read_text(encoding="utf-8").strip() == printed.strip()
+        assert "sweep report: smoke" in printed
+        assert "cells      4/4" in printed
+
+    def test_incomplete_report_needs_allow_partial(self, tmp_path, capsys):
+        with pytest.raises(SystemExit, match="allow-partial"):
+            main(
+                ["sweep", "report", "--preset", "smoke", "--cache-dir", str(tmp_path)]
+            )
+        assert (
+            main(
+                [
+                    "sweep",
+                    "report",
+                    "--preset",
+                    "smoke",
+                    "--cache-dir",
+                    str(tmp_path),
+                    "--allow-partial",
+                ]
+            )
+            == 0
+        )
+        assert "(no completed cells)" in capsys.readouterr().out
+
+    def test_report_is_deterministic(self, smoke_sweep, capsys):
+        argv = ["sweep", "report", "--preset", "smoke", "--cache-dir", str(smoke_sweep)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestManifestProvenance:
+    def test_run_level_manifest_validates_with_null_cell(self, smoke_sweep):
+        manifest = load_manifest(smoke_sweep / "run-manifest.json")
+        assert validate_manifest(manifest, SCHEMA) == []
+        assert manifest["command"] == "sweep"
+        assert manifest["sweep"]["cell_index"] is None
+        assert manifest["sweep"]["sweep_id"].startswith("smoke-")
+
+    def test_sweep_block_round_trips(self, tmp_path):
+        provenance = {
+            "sweep_id": "smoke-abc123def456",
+            "cell_index": 2,
+            "spec_fingerprint": "f" * 64,
+        }
+        manifest = build_manifest("sweep-cell", argv=[], sweep=provenance)
+        assert validate_manifest(manifest, SCHEMA) == []
+        path = write_manifest(tmp_path / "cell.json", manifest)
+        assert load_manifest(path) == manifest
+        assert load_manifest(path)["sweep"] == provenance
+
+    def test_manifest_without_sweep_block_still_validates(self):
+        manifest = build_manifest("run", argv=[])
+        assert "sweep" not in manifest
+        assert validate_manifest(manifest, SCHEMA) == []
+
+    def test_foreign_keys_in_sweep_block_rejected(self):
+        manifest = build_manifest(
+            "sweep-cell",
+            argv=[],
+            sweep={
+                "sweep_id": "x",
+                "cell_index": 0,
+                "spec_fingerprint": "f",
+                "extra": 1,
+            },
+        )
+        errors = validate_manifest(manifest, SCHEMA)
+        assert any("extra" in error for error in errors)
