@@ -1,6 +1,6 @@
 # Convenience targets for the DDoScovery reproduction.
 
-.PHONY: install test test-fast conformance ci bench bench-perf profile sweep-smoke sweep-stability examples artefacts clean
+.PHONY: install test test-fast conformance ci bench bench-perf profile sweep-smoke sweep-stability serve-smoke examples artefacts clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -45,6 +45,12 @@ sweep-smoke:
 sweep-stability:
 	PYTHONPATH=src python -m repro.cli sweep run --preset seed-robustness --jobs 0 --resume
 	PYTHONPATH=src python -m repro.cli sweep report --preset seed-robustness --out benchmarks/results/SWEEP_seed_stability.txt
+
+# Boot the service daemon on an ephemeral port, run a seed0-small study
+# job end-to-end over HTTP, diff the fetched artifact against the batch
+# path and the committed goldens, then SIGTERM (see docs/SERVICE.md).
+serve-smoke:
+	PYTHONPATH=src python scripts/serve_smoke.py
 
 examples:
 	python examples/quickstart.py

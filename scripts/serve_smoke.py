@@ -1,0 +1,162 @@
+"""End-to-end smoke test for the study service daemon (`make serve-smoke`).
+
+Boots `ddoscovery serve` as a subprocess on an ephemeral port, then:
+
+1. submits a `seed0-small` study job (plus an identical duplicate, which
+   must coalesce onto the same job id),
+2. polls to completion and fetches the `fig2_trends` artifact over HTTP,
+3. compares those bytes against the batch path (`Study.artifact` through
+   the same canonical encoder) — they must be bit-identical,
+4. recomputes sha256 fingerprints from the JSON weekly counts and checks
+   them against the committed golden pins in
+   `tests/goldens/seed0-small.json` (floats round-trip JSON exactly, so
+   the transported series must re-hash to the pinned values),
+5. SIGTERMs the daemon and requires a clean drain ("drained" on stderr,
+   exit code 0).
+
+Exit code 0 means the whole service path works on this checkout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core.artifacts import artifact_json_bytes  # noqa: E402
+from repro.core.golden import fingerprint_array, pinned_configs  # noqa: E402
+from repro.core.study import Study  # noqa: E402
+
+SUBMISSION = {
+    "kind": "study",
+    "config": {"preset": "seed0-small"},
+    "artifacts": ["fig2_trends"],
+}
+
+
+def http(method: str, url: str, body: dict | None = None) -> tuple[int, bytes]:
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def fail(message: str) -> None:
+    print(f"serve-smoke: FAIL — {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0", "--jobs", "0"],
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=REPO,
+    )
+    try:
+        line = daemon.stderr.readline()
+        match = re.search(r"listening on http://([\d.]+):(\d+)", line)
+        if not match:
+            fail(f"daemon did not announce a port: {line!r}")
+        base = f"http://{match.group(1)}:{match.group(2)}"
+        print(f"serve-smoke: daemon at {base}")
+
+        status, raw = http("POST", f"{base}/v1/jobs", SUBMISSION)
+        if status != 202:
+            fail(f"submission answered {status}: {raw!r}")
+        job = json.loads(raw)["id"]
+
+        status, raw = http("POST", f"{base}/v1/jobs", SUBMISSION)
+        duplicate = json.loads(raw)
+        if status != 200 or duplicate["id"] != job or not duplicate["coalesced"]:
+            fail(f"duplicate submission did not coalesce: {status} {raw!r}")
+        print(f"serve-smoke: {job} submitted; duplicate coalesced")
+
+        deadline = time.time() + 600
+        while True:
+            status, raw = http("GET", f"{base}/v1/jobs/{job}")
+            document = json.loads(raw)
+            if document["status"] in ("done", "failed", "cancelled", "timeout"):
+                break
+            if time.time() > deadline:
+                fail(f"job still {document['status']} after 600s")
+            time.sleep(0.5)
+        if document["status"] != "done":
+            fail(f"job ended {document['status']}: {document['error']}")
+        print("serve-smoke: job done")
+
+        status, served = http(
+            "GET", f"{base}/v1/jobs/{job}/artifacts/fig2_trends"
+        )
+        if status != 200:
+            fail(f"artifact fetch answered {status}")
+
+        # batch path: same canonical encoder over the same (cached) study
+        study = Study(pinned_configs()["seed0-small"], jobs=0)
+        expected = artifact_json_bytes(study.artifact("fig2_trends"))
+        if served != expected:
+            fail(
+                f"served bytes differ from batch bytes "
+                f"({len(served)} vs {len(expected)} bytes)"
+            )
+        print(f"serve-smoke: served artifact is bit-identical ({len(served)} bytes)")
+
+        # golden pins: re-hash the JSON-transported weekly counts
+        goldens = json.loads(
+            (REPO / "tests" / "goldens" / "seed0-small.json").read_text()
+        )["fingerprints"]
+        document = json.loads(served)
+        checked = 0
+        for label, series in document["data"]["series"].items():
+            for key in (
+                f"series/{label} (DP)/weekly-counts",
+                f"series/{label}/weekly-counts",
+            ):
+                if key in goldens:
+                    break
+            else:
+                continue
+            recomputed = fingerprint_array(
+                np.asarray(series["weekly_counts"], dtype=np.float64)
+            )
+            if recomputed != goldens[key]:
+                fail(f"golden mismatch for {key}")
+            checked += 1
+        if checked == 0:
+            fail("no golden series keys matched the served artifact")
+        print(f"serve-smoke: {checked} golden series fingerprints match")
+
+        daemon.send_signal(signal.SIGTERM)
+        remaining = daemon.stderr.read()
+        code = daemon.wait(timeout=60)
+        if code != 0 or "drained" not in remaining:
+            fail(f"daemon exit {code}; stderr tail: {remaining[-200:]!r}")
+        print("serve-smoke: daemon drained cleanly")
+        print("serve-smoke: OK")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,11 +33,17 @@ from typing import Any
 __version__ = "1.0.0"
 
 __all__ = [
+    "ARTIFACTS",
+    "ScenarioSpec",
     "Study",
     "StudyConfig",
     "run_study",
+    "run_sweep",
     "StudyCalendar",
     "STUDY_CALENDAR",
+    "artifact_json_bytes",
+    "artifact_names",
+    "validate_artifact",
     "__version__",
 ]
 
@@ -47,6 +53,13 @@ _LAZY_EXPORTS = {
     "run_study": ("repro.core.study", "run_study"),
     "StudyCalendar": ("repro.util.calendar", "StudyCalendar"),
     "STUDY_CALENDAR": ("repro.util.calendar", "STUDY_CALENDAR"),
+    # The stable facade: sweeps and the artifact registry.
+    "ScenarioSpec": ("repro.sweep.spec", "ScenarioSpec"),
+    "run_sweep": ("repro.sweep.scheduler", "run_sweep"),
+    "ARTIFACTS": ("repro.core.artifacts", "ARTIFACTS"),
+    "artifact_json_bytes": ("repro.core.artifacts", "artifact_json_bytes"),
+    "artifact_names": ("repro.core.artifacts", "artifact_names"),
+    "validate_artifact": ("repro.core.validate", "validate_artifact"),
 }
 
 

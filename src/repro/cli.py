@@ -25,6 +25,16 @@ Subcommands:
 ``ddoscovery profile``
     Run the pipeline under the span tracer and print the hottest phases
     (sorted by self time).
+``ddoscovery artifact``
+    The artifact registry: ``list`` enumerates the registered artifacts
+    (name, paper anchor, schema version), ``get NAME...`` emits their
+    canonical versioned JSON documents — byte-identical to what the
+    service daemon serves for the same configuration.
+``ddoscovery serve``
+    Run the study service daemon: a zero-dependency REST API
+    (``POST /v1/jobs``, ``GET /v1/jobs/{id}/artifacts/{name}``, ...)
+    over a bounded job queue with request coalescing, cooperative
+    cancellation, and graceful SIGTERM drain — see ``docs/SERVICE.md``.
 
 ``run``, ``landscape``, ``conformance``, and ``profile`` accept
 ``--trace OUT.json`` (write a run manifest: config fingerprint, schema
@@ -47,6 +57,9 @@ Examples::
     ddoscovery sweep run --preset seed-robustness --jobs 4 --resume
     ddoscovery sweep report --preset seed-robustness --out stability.txt
     ddoscovery profile --weeks 52 --top 15
+    ddoscovery artifact list
+    ddoscovery artifact get fig2_trends table2 --preset seed0-small
+    ddoscovery serve --port 8350 --workers 1 --jobs 0
 """
 
 from __future__ import annotations
@@ -59,12 +72,22 @@ from pathlib import Path
 from repro import obs
 from repro.core import report as report_module
 from repro.core.study import Study, StudyConfig
-from repro.util.calendar import STUDY_CALENDAR, StudyCalendar
+from repro.util.calendar import STUDY_CALENDAR, StudyCalendar, calendar_for_weeks
 
 
-def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
-    """The shared ``--trace`` / ``--metrics`` flags."""
-    parser.add_argument(
+# -- shared flag groups (argparse parent parsers) ------------------------------
+#
+# Every command that simulates takes the same execution flags; wiring
+# them per-command drifted (three slightly different ``--jobs`` help
+# strings before this), so each group is declared once and attached via
+# ``parents=[...]``.  Factories return fresh parsers because argparse
+# parents are consumed per ``add_parser`` call and defaults differ.
+
+
+def _obs_parent() -> argparse.ArgumentParser:
+    """``--trace`` / ``--metrics``: the observability flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--trace",
         type=Path,
         default=None,
@@ -72,11 +95,47 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
         help="write a run manifest (span tree, metrics, config fingerprint, "
         "host info) as JSON",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--metrics",
         action="store_true",
         help="print the merged pipeline metrics to stderr after the run",
     )
+    return parent
+
+
+def _jobs_parent(default: int, extra: str = "") -> argparse.ArgumentParser:
+    """``--jobs``: simulation shard workers (0 = one per CPU)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--jobs",
+        type=int,
+        default=default,
+        help="simulation worker processes (0 = one per CPU; "
+        f"default {default}){'; ' if extra else ''}{extra}",
+    )
+    return parent
+
+
+def _cache_parent(
+    *, no_cache: bool = True, cache_dir: bool = True, cache_dir_help: str | None = None
+) -> argparse.ArgumentParser:
+    """``--no-cache`` / ``--cache-dir``: the study-cache flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    if no_cache:
+        parent.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="bypass the on-disk simulation cache (read and write)",
+        )
+    if cache_dir:
+        parent.add_argument(
+            "--cache-dir",
+            type=Path,
+            default=None,
+            help=cache_dir_help
+            or "cache location (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+        )
+    return parent
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -86,7 +145,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    run = commands.add_parser("run", help="run the study and print artefacts")
+    run = commands.add_parser(
+        "run",
+        help="run the study and print artefacts",
+        parents=[_jobs_parent(1), _cache_parent(), _obs_parent()],
+    )
     run.add_argument("--seed", type=int, default=0, help="study seed (default 0)")
     run.add_argument(
         "--weeks",
@@ -114,39 +177,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--ra-per-day", type=float, default=70.0, help="reflection base rate"
     )
     run.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="simulation worker processes (0 = one per CPU; default 1)",
-    )
-    run.add_argument(
         "--shard-days",
         type=int,
         default=None,
         help="days per simulation shard (default 28; output is identical "
         "for any --jobs at a fixed shard size)",
     )
-    run.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="bypass the on-disk simulation cache (read and write)",
-    )
-    run.add_argument(
-        "--cache-dir",
-        type=Path,
-        default=None,
-        help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro)",
-    )
-    _add_observability_arguments(run)
 
     commands.add_parser("survey", help="industry-report survey (Section 3)")
 
     landscape = commands.add_parser(
-        "landscape", help="ground-truth landscape statistics"
+        "landscape",
+        help="ground-truth landscape statistics",
+        parents=[_obs_parent()],
     )
     landscape.add_argument("--seed", type=int, default=0)
     landscape.add_argument("--weeks", type=int, default=26)
-    _add_observability_arguments(landscape)
 
     sensitivity = commands.add_parser(
         "sensitivity", help="telescope detection floors"
@@ -156,23 +202,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     cache = commands.add_parser(
-        "cache", help="inspect or clear the on-disk simulation cache"
+        "cache",
+        help="inspect or clear the on-disk simulation cache",
+        parents=[_cache_parent(no_cache=False)],
     )
     cache.add_argument(
         "action",
         choices=("info", "clear"),
         help="'info' lists cache entries, 'clear' deletes them",
     )
-    cache.add_argument(
-        "--cache-dir",
-        type=Path,
-        default=None,
-        help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro)",
-    )
 
     conformance = commands.add_parser(
         "conformance",
         help="evaluate paper-conformance checks and golden fingerprints",
+        parents=[_jobs_parent(0), _cache_parent(), _obs_parent()],
     )
     conformance.add_argument(
         "--seed", type=int, default=0, help="study seed (default 0)"
@@ -190,23 +233,6 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="run a named pinned config (e.g. seed0-small) instead of "
         "--seed/--weeks",
-    )
-    conformance.add_argument(
-        "--jobs",
-        type=int,
-        default=0,
-        help="simulation worker processes (0 = one per CPU; default 0)",
-    )
-    conformance.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="bypass the on-disk simulation cache",
-    )
-    conformance.add_argument(
-        "--cache-dir",
-        type=Path,
-        default=None,
-        help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
     conformance.add_argument(
         "--golden-dir",
@@ -231,7 +257,6 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the report to a file "
         "(e.g. benchmarks/results/CONFORMANCE.txt)",
     )
-    _add_observability_arguments(conformance)
 
     sweep = commands.add_parser(
         "sweep",
@@ -239,31 +264,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep_actions = sweep.add_subparsers(dest="action", required=True)
 
-    def _add_sweep_common(parser: argparse.ArgumentParser) -> None:
-        parser.add_argument(
+    def _sweep_parent() -> argparse.ArgumentParser:
+        parent = argparse.ArgumentParser(
+            add_help=False,
+            parents=[
+                _cache_parent(
+                    no_cache=False,
+                    cache_dir_help="cache root; the sweep ledger lives under "
+                    "<root>/sweeps (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+                )
+            ],
+        )
+        parent.add_argument(
             "--preset",
             required=True,
             metavar="NAME",
             help="named scenario preset (see 'ddoscovery sweep list')",
         )
-        parser.add_argument(
-            "--cache-dir",
-            type=Path,
-            default=None,
-            help="cache root; the sweep ledger lives under <root>/sweeps "
-            "(default $REPRO_CACHE_DIR or ~/.cache/repro)",
-        )
+        return parent
 
     sweep_run = sweep_actions.add_parser(
-        "run", help="execute (or resume) every cell of a sweep"
-    )
-    _add_sweep_common(sweep_run)
-    sweep_run.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="simulation worker processes per cell (0 = one per CPU; "
-        "cell results are identical for any value)",
+        "run",
+        help="execute (or resume) every cell of a sweep",
+        parents=[
+            _sweep_parent(),
+            _jobs_parent(1, "per cell; cell results are identical for any value"),
+            _cache_parent(cache_dir=False),
+            _obs_parent(),
+        ],
     )
     sweep_run.add_argument(
         "--resume",
@@ -271,22 +299,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="reuse completed cells from the run ledger (an interrupted "
         "sweep continues exactly where it stopped)",
     )
-    sweep_run.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="bypass the on-disk simulation cache for each cell",
-    )
-    _add_observability_arguments(sweep_run)
 
-    sweep_status_parser = sweep_actions.add_parser(
-        "status", help="show per-cell ledger progress (never simulates)"
+    sweep_actions.add_parser(
+        "status",
+        help="show per-cell ledger progress (never simulates)",
+        parents=[_sweep_parent()],
     )
-    _add_sweep_common(sweep_status_parser)
 
     sweep_report = sweep_actions.add_parser(
-        "report", help="aggregate the ledger into the ensemble report"
+        "report",
+        help="aggregate the ledger into the ensemble report",
+        parents=[_sweep_parent()],
     )
-    _add_sweep_common(sweep_report)
     sweep_report.add_argument(
         "--allow-partial",
         action="store_true",
@@ -305,6 +329,11 @@ def _build_parser() -> argparse.ArgumentParser:
     profile = commands.add_parser(
         "profile",
         help="run the pipeline under the tracer and print the hottest phases",
+        parents=[
+            _jobs_parent(1, "1 attributes self time in-process"),
+            _cache_parent(no_cache=False),
+            _obs_parent(),
+        ],
     )
     profile.add_argument("--seed", type=int, default=0, help="study seed")
     profile.add_argument(
@@ -314,23 +343,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shorten the window to N weeks (default: full 234)",
     )
     profile.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="simulation worker processes (default 1: self time is "
-        "attributed in-process; 0 = one per CPU)",
-    )
-    profile.add_argument(
         "--cached",
         action="store_true",
         help="allow the on-disk result cache (default: bypass it, so the "
         "simulation itself is measured)",
-    )
-    profile.add_argument(
-        "--cache-dir",
-        type=Path,
-        default=None,
-        help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
     profile.add_argument(
         "--top", type=int, default=20, help="rows in the self-time table"
@@ -342,18 +358,102 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the profile report to a file "
         "(e.g. benchmarks/results/PROFILE_seed0.txt)",
     )
-    _add_observability_arguments(profile)
+
+    artifact = commands.add_parser(
+        "artifact",
+        help="list registry entries or fetch canonical artifact JSON",
+    )
+    artifact_actions = artifact.add_subparsers(dest="action", required=True)
+    artifact_actions.add_parser(
+        "list", help="enumerate the artifact registry (name, anchor, schema)"
+    )
+    artifact_get = artifact_actions.add_parser(
+        "get",
+        help="run the study (cached) and emit canonical artifact JSON",
+        parents=[_jobs_parent(1), _cache_parent(), _obs_parent()],
+    )
+    artifact_get.add_argument(
+        "names",
+        nargs="+",
+        metavar="NAME",
+        help="artifact names (see 'ddoscovery artifact list')",
+    )
+    artifact_get.add_argument(
+        "--seed", type=int, default=0, help="study seed (default 0)"
+    )
+    artifact_get.add_argument(
+        "--weeks",
+        type=int,
+        default=None,
+        help="shorten the window to N weeks (default: full 234)",
+    )
+    artifact_get.add_argument(
+        "--preset",
+        default=None,
+        metavar="NAME",
+        help="use a pinned config (e.g. seed0-small) instead of --seed/--weeks",
+    )
+    artifact_get.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write <name>.json per artifact instead of printing to stdout",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the study service daemon (REST job API)",
+        parents=[
+            _jobs_parent(0, "shards per job, not concurrent jobs"),
+            _cache_parent(),
+        ],
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8350,
+        help="listen port (default 8350; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="concurrent jobs (default 1; >1 trades per-job manifests "
+        "for throughput)",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=16,
+        help="max queued+running jobs before submissions get 503 (default 16)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget (default: unbounded)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="grace period for running jobs on SIGTERM (default 30)",
+    )
 
     return parser
 
 
 def _calendar_for(weeks: int | None) -> StudyCalendar:
-    if weeks is None:
-        return STUDY_CALENDAR
-    if weeks < 16:
-        raise SystemExit("need at least 16 weeks (15-week normalisation baseline)")
-    start = dt.date(2019, 1, 1)
-    return StudyCalendar(start, start + dt.timedelta(days=weeks * 7))
+    try:
+        return calendar_for_weeks(weeks)
+    except ValueError as error:
+        raise SystemExit(str(error))
 
 
 def _observed_command(args: argparse.Namespace, command: str, config, body) -> int:
@@ -731,10 +831,10 @@ def _command_profile(args: argparse.Namespace) -> int:
             )
             study.observations
             study.main_series()
-            study.table1()
-            study.figure5()
-            study.figure6()
-            study.figure7()
+            study.artifact_result("table1")
+            study.artifact_result("fig5_shares")
+            study.artifact_result("fig6_correlation")
+            study.artifact_result("fig7_upset")
         manifest = obs.build_manifest(
             "profile", config=config, registry=registry, tracer=tracer
         )
@@ -761,6 +861,78 @@ def _command_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_artifact(args: argparse.Namespace) -> int:
+    from repro.core.artifacts import artifact_json_bytes, registry_listing
+    from repro.core.export import write_artifacts_json
+    from repro.core.golden import pinned_configs
+
+    if args.action == "list":
+        for entry in registry_listing():
+            anchor = entry.get("paper_anchor") or "-"
+            print(
+                f"{entry['name']:20s} {anchor:14s} "
+                f"v{entry['schema_version']}  {entry['title']}"
+            )
+        return 0
+
+    # action == "get"
+    if args.preset is not None:
+        pinned = pinned_configs()
+        if args.preset not in pinned:
+            raise SystemExit(
+                f"unknown pinned config {args.preset!r}; "
+                f"available: {sorted(pinned)}"
+            )
+        config = pinned[args.preset]
+    else:
+        config = StudyConfig(seed=args.seed, calendar=_calendar_for(args.weeks))
+
+    def body() -> int:
+        study = Study(
+            config,
+            jobs=args.jobs,
+            cache=False if args.no_cache else None,
+            cache_dir=args.cache_dir,
+        )
+        try:
+            if args.out is not None:
+                for path in write_artifacts_json(study, args.out, args.names):
+                    print(f"wrote {path}", file=sys.stderr)
+            else:
+                for name in args.names:
+                    sys.stdout.buffer.write(
+                        artifact_json_bytes(study.artifact(name))
+                    )
+        except KeyError as error:
+            raise SystemExit(str(error.args[0]))
+        return 0
+
+    return _observed_command(args, "artifact", config, body)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, run_service
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    if args.queue_size < 1:
+        raise SystemExit("--queue-size must be at least 1")
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        job_timeout_s=args.job_timeout,
+        drain_timeout_s=args.drain_timeout,
+        jobs=args.jobs,
+        cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir,
+    )
+    return run_service(
+        config, log=lambda message: print(message, file=sys.stderr, flush=True)
+    )
+
+
 _COMMANDS = {
     "run": _command_run,
     "survey": _command_survey,
@@ -770,6 +942,8 @@ _COMMANDS = {
     "conformance": _command_conformance,
     "sweep": _command_sweep,
     "profile": _command_profile,
+    "artifact": _command_artifact,
+    "serve": _command_serve,
 }
 
 

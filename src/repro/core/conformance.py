@@ -210,7 +210,7 @@ class StudyView:
     def trends(self) -> dict[str, dict[str, float]]:
         """Relative trend change per main-series label, per attack type."""
         out: dict[str, dict[str, float]] = {}
-        for row in self.study.table1():
+        for row in self.study.artifact_result("table1"):
             out[row.attack_type] = {
                 label: classification.relative_change
                 for label, classification in row.observatory_trends.items()
@@ -220,11 +220,11 @@ class StudyView:
     @cached_property
     def industry(self) -> dict[str, object]:
         """Industry trend counts keyed by attack type label."""
-        return {row.attack_type: row.industry for row in self.study.table1()}
+        return {row.attack_type: row.industry for row in self.study.artifact_result("table1")}
 
     @cached_property
     def correlation(self):
-        return self.study.figure6()
+        return self.study.artifact_result("fig6_correlation")
 
     def correlation_pairs(
         self, smoothed: bool = False
@@ -240,11 +240,11 @@ class StudyView:
 
     @cached_property
     def shares(self):
-        return self.study.figure5()
+        return self.study.artifact_result("fig5_shares")
 
     @cached_property
     def upset(self):
-        return self.study.figure7()
+        return self.study.artifact_result("fig7_upset")
 
     @cached_property
     def overlaps(self) -> dict[tuple[str, str], float]:

@@ -124,7 +124,7 @@ def _study_fingerprints(study: "Study") -> dict[str, str]:
         dtype=np.float64,
     )
     fingerprints["trends/slope-per-year"] = fingerprint_array(slopes)
-    correlation = study.figure6()
+    correlation = study.artifact_result("fig6_correlation")
     fingerprints["correlation/spearman-raw"] = fingerprint_array(
         correlation.normalized.coefficients
     )
@@ -145,7 +145,7 @@ def golden_payload(study: "Study", name: str) -> dict:
             label: classification.symbol
             for label, classification in row.observatory_trends.items()
         }
-        for row in study.table1()
+        for row in study.artifact_result("table1")
     }
     return {
         "schema": GOLDEN_SCHEMA_VERSION,
@@ -160,7 +160,7 @@ def golden_payload(study: "Study", name: str) -> dict:
         },
         "summary": {
             "trends": trends,
-            "ra_dp_crossing": study.figure5().last_crossing_quarter(),
+            "ra_dp_crossing": study.artifact_result("fig5_shares").last_crossing_quarter(),
         },
         "fingerprints": study_fingerprints(study),
     }

@@ -45,21 +45,21 @@ def _render_trend_figure(figure: TrendFigure, title: str) -> str:
 def render_figure2(study: Study) -> str:
     """Figure 2: normalised weekly direct-path attack counts."""
     return _render_trend_figure(
-        study.figure2(), "Figure 2 - direct-path attacks (normalised weekly counts)"
+        study.artifact_result("fig2_trends"), "Figure 2 - direct-path attacks (normalised weekly counts)"
     )
 
 
 def render_figure3(study: Study) -> str:
     """Figure 3: normalised weekly reflection-amplification counts."""
     return _render_trend_figure(
-        study.figure3(),
+        study.artifact_result("fig3_trends"),
         "Figure 3 - reflection-amplification attacks (normalised weekly counts)",
     )
 
 
 def render_figure4(study: Study) -> str:
     """Figure 4: all ten series as a heatmap."""
-    figure = study.figure4()
+    figure = study.artifact_result("fig4_heatmap")
     return "Figure 4 - normalised attack counts, all vantage points\n\n" + heatmap(
         figure.labels, figure.matrix
     )
@@ -67,7 +67,7 @@ def render_figure4(study: Study) -> str:
 
 def render_figure5(study: Study) -> str:
     """Figure 5: Netscout DP/RA share and the 50% crossing."""
-    shares = study.figure5()
+    shares = study.artifact_result("fig5_shares")
     crossing = shares.last_crossing_quarter()
     lines = [
         "Figure 5 - Netscout weekly attack-class share",
@@ -81,7 +81,7 @@ def render_figure5(study: Study) -> str:
 
 def render_figure6(study: Study) -> str:
     """Figure 6: Spearman correlation matrices with significance."""
-    figure = study.figure6()
+    figure = study.artifact_result("fig6_correlation")
     parts = ["Figure 6 - Spearman correlations (normalised series)", ""]
     parts.append(format_matrix(figure.normalized.labels, figure.normalized.coefficients))
     insignificant = (~figure.normalized.significant_mask()).sum() // 2
@@ -93,7 +93,7 @@ def render_figure6(study: Study) -> str:
 
 def render_figure7(study: Study) -> str:
     """Figure 7: UpSet decomposition of academic target tuples."""
-    result = study.figure7()
+    result = study.artifact_result("fig7_upset")
     lines = [
         "Figure 7 - target (date, IP) tuples across academic observatories",
         "",
@@ -121,7 +121,7 @@ def render_figure7(study: Study) -> str:
 
 def render_figure8(study: Study) -> str:
     """Figure 8: highly-visible targets over time."""
-    result = study.figure8()
+    result = study.artifact_result("fig8_highly_visible")
     lines = [
         "Figure 8 - targets observed by all four academic observatories",
         "",
@@ -135,7 +135,7 @@ def render_figure8(study: Study) -> str:
 
 
 def _render_federation(study: Study, which: str) -> str:
-    result = study.figure9() if which == "Netscout" else study.figure13()
+    result = study.artifact_result("federation") if which == "Netscout" else study.artifact_result("federation_akamai")
     lines = [
         f"{'Figure 9' if which == 'Netscout' else 'Figure 13'} - share of academic "
         f"targets confirmed by {which}",
@@ -172,7 +172,7 @@ def render_figure13(study: Study) -> str:
 
 def render_figure10(study: Study) -> str:
     """Figure 10: weekly target overlap within observatory types."""
-    figures = study.figure10()
+    figures = study.artifact_result("fig10_overlap")
     lines = ["Figure 10 - weekly observed targets and overlap", ""]
     for name, figure in figures.items():
         lines.append(f"[{name}] {figure.label_a} vs {figure.label_b}")
@@ -190,7 +190,7 @@ def render_figure10(study: Study) -> str:
 
 def render_figure12(study: Study) -> str:
     """Figure 12 (Appendix D): NewKid's erratic series."""
-    series = study.figure12()
+    series = study.artifact_result("fig12_newkid")
     zero_weeks = int((series.counts == 0).sum())
     return "\n".join(
         [
@@ -205,7 +205,7 @@ def render_figure12(study: Study) -> str:
 
 def render_figure14(study: Study) -> str:
     """Figure 14 (Appendix F): quarterly pairwise correlation boxes."""
-    figure = study.figure14()
+    figure = study.artifact_result("fig14_quarterly")
     rows = []
     for (a, b), stats in sorted(figure.pairs.items()):
         rows.append(
@@ -226,7 +226,7 @@ def render_figure14(study: Study) -> str:
 def render_table1(study: Study) -> str:
     """Table 1: trend symbols per observatory plus industry counts."""
     rows = []
-    table1 = study.table1()
+    table1 = study.artifact_result("table1")
     for row in table1:
         cells = [row.attack_type]
         cells.extend(
@@ -247,7 +247,7 @@ def render_table2(study: Study) -> str:
     rows = [
         [row.platform, row.type, row.attack, row.coverage, row.flow_identifier,
          row.timeout, row.threshold]
-        for row in study.table2()
+        for row in study.artifact_result("table2")
     ]
     return "Table 2 - observatories\n\n" + format_table(
         ["platform", "type", "attack", "coverage", "flow id", "timeout", "threshold"],
@@ -271,7 +271,7 @@ def render_table4(study: Study) -> str:
     rows = [
         [str(row.rank), row.name, str(row.asn), str(row.tuples),
          format_percent(row.share), row.kind]
-        for row in study.table4()
+        for row in study.artifact_result("table4")
     ]
     return (
         "Table 4 - top ASes among targets seen by all four academic "
@@ -341,4 +341,4 @@ def render_all(study: Study) -> dict[str, str]:
 
 def summary_matrix(study: Study) -> np.ndarray:
     """The Figure-4 matrix (convenience for numeric consumers)."""
-    return study.figure4().matrix
+    return study.artifact_result("fig4_heatmap").matrix

@@ -2,15 +2,19 @@
 
 :class:`Study` wires the whole reproduction together — synthetic Internet
 plan, landscape scenario, ground-truth generator, the ten observatories —
-runs the simulation once (cached), and exposes one method per paper
-artefact (``figure2()`` … ``figure14()``, ``table1()`` … ``table4()``).
+runs the simulation once (cached), and serves every paper artefact
+through the declarative registry in :mod:`repro.core.artifacts`:
+``artifact_result(name)`` returns the rich in-memory result,
+``artifact(name)`` the versioned JSON document.  The legacy
+``figure2()`` … ``figure14()`` / ``table1()`` … ``table4()`` accessors
+remain as deprecated shims over the same registry.
 
 Typical use::
 
     from repro import Study, StudyConfig
 
     study = Study(StudyConfig(seed=0))
-    fig3 = study.figure3()
+    fig3 = study.artifact_result("fig3_trends")
     for label, series in fig3.series.items():
         print(label, series.trend_line().slope_per_year)
 """
@@ -334,7 +338,7 @@ class Study:
 
     # -- figures ------------------------------------------------------------------
 
-    def figure2(self) -> TrendFigure:
+    def _figure2(self) -> TrendFigure:
         """Normalised weekly direct-path attack counts (Figure 2)."""
         return TrendFigure(
             attack_class=AttackClass.DIRECT_PATH,
@@ -342,7 +346,7 @@ class Study:
             takedown_weeks=[],
         )
 
-    def figure3(self) -> TrendFigure:
+    def _figure3(self) -> TrendFigure:
         """Normalised weekly reflection-amplification counts (Figure 3)."""
         return TrendFigure(
             attack_class=AttackClass.REFLECTION_AMPLIFICATION,
@@ -350,14 +354,14 @@ class Study:
             takedown_weeks=self._takedown_weeks(),
         )
 
-    def figure4(self) -> HeatmapFigure:
+    def _figure4(self) -> HeatmapFigure:
         """All ten normalised series as a heatmap matrix (Figure 4)."""
         series = self.main_series()
         labels = list(series)
         matrix = np.vstack([series[label].normalized for label in labels])
         return HeatmapFigure(labels=labels, matrix=matrix)
 
-    def figure5(self) -> ShareSeries:
+    def _figure5(self) -> ShareSeries:
         """Netscout's weekly RA/DP share with the 50% crossing (Figure 5)."""
         netscout = self.observations["Netscout"]
         dp = netscout.weekly_counts(self.calendar, AttackClass.DIRECT_PATH)
@@ -366,7 +370,7 @@ class Study:
         )
         return share_series("Netscout", dp, ra, self.calendar)
 
-    def figure6(self) -> CorrelationFigure:
+    def _figure6(self) -> CorrelationFigure:
         """Pairwise correlation matrices with p-values (Figure 6)."""
         series = self.main_series()
         with span("analysis.correlation"):
@@ -380,20 +384,20 @@ class Study:
                 pearson_normalized=correlation_matrix(normalized, "pearson"),
             )
 
-    def figure7(self) -> UpsetResult:
+    def _figure7(self) -> UpsetResult:
         """UpSet decomposition of academic target tuples (Figure 7)."""
         target_sets = self.academic_target_sets
         with span("analysis.targets.upset"):
             return upset(target_sets)
 
-    def figure8(self) -> HighlyVisible:
+    def _figure8(self) -> HighlyVisible:
         """Highly-visible targets over time (Figure 8)."""
         intersection = set.intersection(*self.academic_target_sets.values())
         return highly_visible(
             intersection, len(self.academic_universe), self.calendar
         )
 
-    def figure9(self) -> FederationResult:
+    def _figure9(self) -> FederationResult:
         """Netscout confirmation of academic target sets (Figure 9).
 
         The forward join uses the paper's ~28% baseline sample; the
@@ -419,24 +423,24 @@ class Study:
             reverse_union=reverse_result.reverse_union,
         )
 
-    def figure10(self) -> dict[str, TargetOverlapFigure]:
+    def _figure10(self) -> dict[str, TargetOverlapFigure]:
         """Weekly target overlap: telescopes and honeypots (Figure 10)."""
         return {
             "telescopes": self._overlap_figure("UCSD", "ORION"),
             "honeypots": self._overlap_figure("Hopscotch", "AmpPot"),
         }
 
-    def figure12(self) -> WeeklySeries:
+    def _figure12(self) -> WeeklySeries:
         """NewKid's erratic single-sensor series (Appendix D, Figure 12)."""
         return self.series(
             SeriesKey("NewKid", AttackClass.REFLECTION_AMPLIFICATION)
         )
 
-    def figure13(self) -> FederationResult:
+    def _figure13(self) -> FederationResult:
         """Akamai confirmation of academic target sets (Appendix G)."""
         return self._federate("Akamai", self.config.akamai_baseline_fraction)
 
-    def figure14(self) -> QuarterlyCorrelationFigure:
+    def _figure14(self) -> QuarterlyCorrelationFigure:
         """Quarterly pairwise correlation distributions (Appendix F)."""
         series = self.main_series()
         with span("analysis.correlation.quarterly"):
@@ -453,7 +457,7 @@ class Study:
 
     # -- tables ---------------------------------------------------------------------
 
-    def table1(self) -> list[Table1Row]:
+    def _table1(self) -> list[Table1Row]:
         """Trend symbols per observatory and industry counts (Table 1)."""
         industry = trend_counts()
         rows: list[Table1Row] = []
@@ -475,7 +479,7 @@ class Study:
                 )
             return rows
 
-    def table2(self) -> list[Table2Row]:
+    def _table2(self) -> list[Table2Row]:
         """The observatory inventory (Table 2)."""
         rows = [
             Table2Row(
@@ -538,9 +542,122 @@ class Study:
             )
         return rows
 
-    def table4(self) -> list[AsRow]:
+    def _table4(self) -> list[AsRow]:
         """Top-10 ASes among highly-visible targets (Table 4)."""
-        return top_target_ases(self.figure8().tuples, self.plan)
+        return top_target_ases(self._figure8().tuples, self.plan)
+
+    # -- the artifact registry (the public surface) ---------------------------------
+
+    def artifacts(self) -> dict[str, "object"]:
+        """The declarative artifact registry: name -> spec.
+
+        Each :class:`~repro.core.artifacts.ArtifactSpec` carries the
+        extractor, the versioned JSON schema, and the paper anchor; the
+        names are the stable public identifiers shared by the service,
+        the CLI, and :meth:`artifact`.
+        """
+        from repro.core.artifacts import ARTIFACTS
+
+        return dict(ARTIFACTS)
+
+    def artifact_result(self, name: str):
+        """The rich in-memory result of one registered artifact.
+
+        This is the object the legacy accessor used to return
+        (``artifact_result("fig2_trends")`` == ``figure2()``); use
+        :meth:`artifact` for the versioned JSON document instead.
+        """
+        from repro.core.artifacts import artifact_spec
+
+        return artifact_spec(name).build(self)
+
+    def artifact(self, name: str) -> dict:
+        """One artifact as a versioned, JSON-serialisable document.
+
+        The envelope carries ``schema_version``, the paper anchor, and
+        the study's config fingerprint; serialise it with
+        :func:`repro.core.artifacts.artifact_json_bytes` for bytes that
+        are bit-identical across the library, the CLI, and the service.
+        """
+        from repro.core.artifacts import study_envelope
+
+        return study_envelope(self, name)
+
+    # -- deprecated accessors ---------------------------------------------------------
+
+    def _deprecated(self, method: str, artifact: str):
+        import warnings
+
+        warnings.warn(
+            f"Study.{method}() is deprecated; use "
+            f"Study.artifact_result({artifact!r}) for the same rich result "
+            f"or Study.artifact({artifact!r}) for the versioned JSON "
+            "document (see docs/TUTORIAL.md, 'Migrating to the artifact "
+            "registry').",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return self.artifact_result(artifact)
+
+    def figure2(self) -> TrendFigure:
+        """Deprecated: use ``artifact_result("fig2_trends")``."""
+        return self._deprecated("figure2", "fig2_trends")
+
+    def figure3(self) -> TrendFigure:
+        """Deprecated: use ``artifact_result("fig3_trends")``."""
+        return self._deprecated("figure3", "fig3_trends")
+
+    def figure4(self) -> HeatmapFigure:
+        """Deprecated: use ``artifact_result("fig4_heatmap")``."""
+        return self._deprecated("figure4", "fig4_heatmap")
+
+    def figure5(self) -> ShareSeries:
+        """Deprecated: use ``artifact_result("fig5_shares")``."""
+        return self._deprecated("figure5", "fig5_shares")
+
+    def figure6(self) -> CorrelationFigure:
+        """Deprecated: use ``artifact_result("fig6_correlation")``."""
+        return self._deprecated("figure6", "fig6_correlation")
+
+    def figure7(self) -> UpsetResult:
+        """Deprecated: use ``artifact_result("fig7_upset")``."""
+        return self._deprecated("figure7", "fig7_upset")
+
+    def figure8(self) -> HighlyVisible:
+        """Deprecated: use ``artifact_result("fig8_highly_visible")``."""
+        return self._deprecated("figure8", "fig8_highly_visible")
+
+    def figure9(self) -> FederationResult:
+        """Deprecated: use ``artifact_result("federation")``."""
+        return self._deprecated("figure9", "federation")
+
+    def figure10(self) -> dict[str, TargetOverlapFigure]:
+        """Deprecated: use ``artifact_result("fig10_overlap")``."""
+        return self._deprecated("figure10", "fig10_overlap")
+
+    def figure12(self) -> WeeklySeries:
+        """Deprecated: use ``artifact_result("fig12_newkid")``."""
+        return self._deprecated("figure12", "fig12_newkid")
+
+    def figure13(self) -> FederationResult:
+        """Deprecated: use ``artifact_result("federation_akamai")``."""
+        return self._deprecated("figure13", "federation_akamai")
+
+    def figure14(self) -> QuarterlyCorrelationFigure:
+        """Deprecated: use ``artifact_result("fig14_quarterly")``."""
+        return self._deprecated("figure14", "fig14_quarterly")
+
+    def table1(self) -> list[Table1Row]:
+        """Deprecated: use ``artifact_result("table1")``."""
+        return self._deprecated("table1", "table1")
+
+    def table2(self) -> list[Table2Row]:
+        """Deprecated: use ``artifact_result("table2")``."""
+        return self._deprecated("table2", "table2")
+
+    def table4(self) -> list[AsRow]:
+        """Deprecated: use ``artifact_result("table4")``."""
+        return self._deprecated("table4", "table4")
 
     # -- helpers --------------------------------------------------------------------
 
@@ -556,7 +673,7 @@ class Study:
         )
         sampled = subsample_baseline(baseline, fraction, rng)
         target_sets = self.academic_target_sets
-        upset_result = self.figure7()
+        upset_result = self._figure7()
         with span("analysis.federation"):
             return federate(
                 target_sets,
@@ -625,7 +742,7 @@ class Study:
         symbols, the Figure-5 crossing, the Figure-7 all-four share, and
         the Table-4 leader.
         """
-        table1 = self.table1()
+        table1 = self._table1()
         trends = {
             row.attack_type: {
                 label.split(" ")[0]: classification.symbol
@@ -633,13 +750,13 @@ class Study:
             }
             for row in table1
         }
-        top_ases = self.table4()
+        top_ases = self._table4()
         return {
             "window": f"{self.calendar.start}..{self.calendar.end}",
             "seed": self.config.seed,
             "trends": trends,
-            "ra_dp_crossing": self.figure5().last_crossing_quarter(),
-            "all_four_target_share": self.figure7().seen_by_all().share,
+            "ra_dp_crossing": self._figure5().last_crossing_quarter(),
+            "all_four_target_share": self._figure7().seen_by_all().share,
             "top_target_as": top_ases[0].name if top_ases else None,
         }
 

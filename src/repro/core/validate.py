@@ -146,6 +146,51 @@ def validate_observations(
     return report
 
 
+def validate_artifact(document: object) -> list[str]:
+    """Validate one artifact document against the registry.
+
+    Checks the envelope shape (every key in
+    :data:`repro.core.artifacts.ENVELOPE_REQUIRED`), that the artifact
+    name is registered, that ``schema_version`` matches the registered
+    version for that artifact, and that the ``data`` block conforms to
+    the artifact's mini JSON schema.  Returns human-readable error
+    strings; an empty list means the document is valid.
+    """
+    from repro.core.artifacts import (
+        ARTIFACT_ENVELOPE_VERSION,
+        ARTIFACTS,
+        ENVELOPE_REQUIRED,
+    )
+    from repro.obs import validate_manifest
+
+    if not isinstance(document, dict):
+        return [f"artifact document must be an object, got {type(document).__name__}"]
+    errors = [
+        f"missing envelope key {key!r}"
+        for key in ENVELOPE_REQUIRED
+        if key not in document
+    ]
+    if errors:
+        return errors
+    if document["envelope_version"] != ARTIFACT_ENVELOPE_VERSION:
+        errors.append(
+            f"envelope_version {document['envelope_version']!r} != "
+            f"current {ARTIFACT_ENVELOPE_VERSION}"
+        )
+    name = document["artifact"]
+    spec = ARTIFACTS.get(name)
+    if spec is None:
+        errors.append(f"unknown artifact {name!r}")
+        return errors
+    if document["schema_version"] != spec.schema_version:
+        errors.append(
+            f"{name}: schema_version {document['schema_version']!r} != "
+            f"registered {spec.schema_version}"
+        )
+    errors.extend(validate_manifest(document["data"], spec.schema, path="$.data"))
+    return errors
+
+
 def validate_study_feeds(study) -> dict[str, ValidationReport]:
     """Validate every observatory feed of a study (self-check)."""
     from repro.observatories.base import Observatory

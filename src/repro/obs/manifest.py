@@ -68,13 +68,16 @@ def build_manifest(
     tracer: Tracer | None = None,
     argv: list[str] | None = None,
     sweep: dict[str, Any] | None = None,
+    job: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble the manifest document for one observed run.
 
     ``sweep`` is the optional provenance block a sweep-scheduled run
     carries (``sweep_id``, ``cell_index``, ``spec_fingerprint``; see
     :func:`repro.sweep.scheduler.sweep_provenance`) — omitted entirely
-    for standalone runs.
+    for standalone runs.  ``job`` is the analogous provenance block for
+    runs executed by the service daemon (``job_id``, ``kind``, the
+    coalescing ``key``; see :mod:`repro.service.jobs`).
     """
     from repro.core.cache import CACHE_SCHEMA_VERSION
 
@@ -91,6 +94,8 @@ def build_manifest(
     }
     if sweep is not None:
         manifest["sweep"] = dict(sweep)
+    if job is not None:
+        manifest["job"] = dict(job)
     return manifest
 
 

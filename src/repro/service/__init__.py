@@ -1,0 +1,69 @@
+"""``repro.service``: the study service daemon.
+
+``ddoscovery serve`` turns studies, sweeps, and conformance runs into
+managed jobs behind a small versioned REST surface::
+
+    POST /v1/jobs                          submit {"kind": "study", ...}
+    GET  /v1/jobs/{id}                     poll status
+    GET  /v1/jobs/{id}/artifacts/{name}    fetch canonical artifact JSON
+    GET  /v1/health, /v1/metrics, /v1/artifacts
+
+Identical submissions coalesce onto one job (content-fingerprint keys),
+admission is bounded, cancellation is cooperative, and SIGTERM drains
+gracefully — see :mod:`repro.service.jobs` for the execution contracts
+and ``docs/SERVICE.md`` for the operator view.  Artifact payloads come
+from the same canonical encoder as the CLI and library export paths, so
+bytes fetched over HTTP are bit-identical to batch output.
+"""
+
+from repro.service.daemon import (
+    ServiceConfig,
+    ServiceHandle,
+    free_port,
+    run_service,
+    serve,
+)
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TIMEOUT,
+    Draining,
+    Job,
+    JobCancelled,
+    JobManager,
+    JobResult,
+    QueueFull,
+)
+from repro.service.runners import (
+    ServiceSettings,
+    make_runner,
+    parse_submission,
+    study_config_from_payload,
+)
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "TIMEOUT",
+    "Draining",
+    "Job",
+    "JobCancelled",
+    "JobManager",
+    "JobResult",
+    "QueueFull",
+    "ServiceConfig",
+    "ServiceHandle",
+    "ServiceSettings",
+    "free_port",
+    "make_runner",
+    "parse_submission",
+    "run_service",
+    "serve",
+    "study_config_from_payload",
+]

@@ -1,0 +1,163 @@
+"""The REST surface: route table over the job manager.
+
+Endpoints (all JSON, all versioned under ``/v1``):
+
+========================================  =====================================
+``GET  /v1/health``                       liveness + job counts + queue state
+``GET  /v1/metrics``                      the daemon's metrics registry summary
+``GET  /v1/artifacts``                    the artifact registry listing
+``POST /v1/jobs``                         submit (202) or coalesce (200) a job
+``GET  /v1/jobs``                         all jobs, submission order
+``GET  /v1/jobs/{id}``                    one job document
+``POST /v1/jobs/{id}/cancel``             request cancellation (also DELETE)
+``GET  /v1/jobs/{id}/artifacts``          names a finished job produced
+``GET  /v1/jobs/{id}/artifacts/{name}``   the canonical artifact JSON bytes
+========================================  =====================================
+
+Error shape is uniform — ``{"error": {"status": ..., "message": ...}}`` —
+and artifact bytes are returned verbatim from the job result, never
+re-encoded, so the service can only serve what the canonical encoder
+produced.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import obs
+from repro.service.http import BadRequest, Request, Response
+from repro.service.jobs import DONE, Draining, JobManager, QueueFull
+from repro.service.runners import parse_submission
+
+
+class App:
+    """Dispatch parsed requests against one :class:`JobManager`."""
+
+    def __init__(self, manager: JobManager) -> None:
+        self.manager = manager
+
+    def handle(self, request: Request) -> Response:
+        """Route one request (pure function of request + manager state)."""
+        obs.counter("service.http.requests", method=request.method).inc()
+        parts = [part for part in request.path.split("/") if part]
+        try:
+            return self._route(request, parts)
+        except BadRequest as error:
+            return Response.error(400, str(error))
+        except Exception as error:  # noqa: BLE001 - last-resort boundary
+            obs.counter("service.http.errors").inc()
+            return Response.error(500, f"{type(error).__name__}: {error}")
+
+    # -- routing -----------------------------------------------------------------
+
+    def _route(self, request: Request, parts: list[str]) -> Response:
+        if not parts or parts[0] != "v1":
+            return Response.error(404, f"no such path: {request.path}")
+        rest = parts[1:]
+
+        if rest == ["health"]:
+            return self._require("GET", request) or self._health()
+        if rest == ["metrics"]:
+            return self._require("GET", request) or self._metrics()
+        if rest == ["artifacts"]:
+            return self._require("GET", request) or self._registry()
+        if rest == ["jobs"]:
+            if request.method == "POST":
+                return self._submit(request)
+            return self._require("GET", request) or self._jobs()
+        if len(rest) >= 2 and rest[0] == "jobs":
+            return self._job_route(request, rest[1], rest[2:])
+        return Response.error(404, f"no such path: {request.path}")
+
+    def _job_route(
+        self, request: Request, job_id: str, tail: list[str]
+    ) -> Response:
+        job = self.manager.get(job_id)
+        if job is None:
+            return Response.error(404, f"no such job: {job_id}")
+        if not tail:
+            if request.method == "DELETE":
+                return self._cancel(job_id)
+            return self._require("GET", request) or Response.json(job.to_dict())
+        if tail == ["cancel"]:
+            return self._require("POST", request) or self._cancel(job_id)
+        if tail[0] == "artifacts":
+            method_error = self._require("GET", request)
+            if method_error:
+                return method_error
+            if job.status != DONE or job.result is None:
+                return Response.error(
+                    409, f"job {job_id} is {job.status}; artifacts need done"
+                )
+            if len(tail) == 1:
+                return Response.json(
+                    {"job": job_id, "artifacts": sorted(job.result.artifacts)}
+                )
+            if len(tail) == 2:
+                body = job.result.artifacts.get(tail[1])
+                if body is None:
+                    return Response.error(
+                        404,
+                        f"job {job_id} has no artifact {tail[1]!r}; "
+                        f"available: {sorted(job.result.artifacts)}",
+                    )
+                obs.counter("service.artifacts.served").inc()
+                return Response(status=200, body=body)
+        return Response.error(404, f"no such path: {request.path}")
+
+    # -- handlers ----------------------------------------------------------------
+
+    @staticmethod
+    def _require(method: str, request: Request) -> Response | None:
+        if request.method != method:
+            return Response.error(
+                405, f"{request.method} not allowed here (use {method})"
+            )
+        return None
+
+    def _health(self) -> Response:
+        manager = self.manager
+        return Response.json(
+            {
+                "status": "draining" if manager.draining else "ok",
+                "workers": manager.workers,
+                "queue_size": manager.queue_size,
+                "jobs": manager.counts(),
+            }
+        )
+
+    def _metrics(self) -> Response:
+        return Response.json(obs.registry().summary())
+
+    def _registry(self) -> Response:
+        from repro.core.artifacts import registry_listing
+
+        return Response.json({"artifacts": registry_listing()})
+
+    def _jobs(self) -> Response:
+        return Response.json(
+            {"jobs": [job.to_dict() for job in self.manager.jobs()]}
+        )
+
+    def _submit(self, request: Request) -> Response:
+        body = request.json()
+        try:
+            kind, key, payload = parse_submission(body)
+        except (ValueError, KeyError) as error:
+            message = error.args[0] if error.args else str(error)
+            return Response.error(400, str(message))
+        try:
+            job, coalesced = self.manager.submit(kind, key, payload)
+        except Draining as error:
+            return Response.error(503, str(error))
+        except QueueFull as error:
+            return Response.error(503, str(error))
+        document: dict[str, Any] = job.to_dict()
+        document["coalesced"] = coalesced
+        return Response.json(document, status=200 if coalesced else 202)
+
+    def _cancel(self, job_id: str) -> Response:
+        job = self.manager.cancel(job_id)
+        if job is None:
+            return Response.error(404, f"no such job: {job_id}")
+        return Response.json(job.to_dict())

@@ -1,0 +1,172 @@
+"""The study service daemon: socket lifecycle and graceful shutdown.
+
+:func:`serve` binds the listening socket, starts the job workers, and
+runs until something asks it to stop — SIGTERM/SIGINT (wired through
+``loop.add_signal_handler``), or :meth:`ServiceHandle.request_stop` from
+a test.  Shutdown is a **drain**: the listener closes (no new
+connections), in-flight HTTP responses finish, queued jobs cancel,
+running jobs get up to ``drain_timeout_s`` to complete, and only then
+does the coroutine return.  Combined with the content-addressed cache's
+atomic writes and the sweep ledger's append-only records, a SIGTERM at
+any point leaves on-disk state a fresh daemon (or the batch CLI) can
+pick up.
+
+``ddoscovery serve`` is the CLI wrapper (:func:`run_service`); tests
+call :func:`serve` directly with ``port=0`` and read the bound port off
+the handle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import socket
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro import obs
+from repro.service.app import App
+from repro.service.http import BadRequest, Response, read_request, write_response
+from repro.service.jobs import JobManager
+from repro.service.runners import ServiceSettings, make_runner
+
+Log = Callable[[str], None]
+
+
+def _silent(_: str) -> None:
+    return None
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``ddoscovery serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8350
+    #: concurrent jobs (each still shards its own simulation by ``jobs``).
+    workers: int = 1
+    #: bounded admission: queued + running jobs the daemon will hold.
+    queue_size: int = 16
+    #: per-job wall-clock budget; ``None`` means unbounded.
+    job_timeout_s: float | None = None
+    #: grace period for running jobs during SIGTERM drain.
+    drain_timeout_s: float = 30.0
+    #: shard count per simulation (0 = all cores).
+    jobs: int | None = 1
+    cache: bool | None = None
+    cache_dir: str | Path | None = None
+
+
+@dataclass
+class ServiceHandle:
+    """What :func:`serve` exposes while running (mainly for tests)."""
+
+    config: ServiceConfig
+    manager: JobManager
+    port: int
+    stopping: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def request_stop(self) -> None:
+        """Begin the graceful drain (idempotent, signal-handler safe)."""
+        self.stopping.set()
+
+
+async def serve(
+    config: ServiceConfig,
+    *,
+    log: Log = _silent,
+    ready: Callable[[ServiceHandle], None] | None = None,
+    install_signal_handlers: bool = True,
+) -> None:
+    """Run the daemon until stopped, then drain and return."""
+    settings = ServiceSettings(
+        jobs=config.jobs, cache=config.cache, cache_dir=config.cache_dir
+    )
+    manager = JobManager(
+        make_runner(settings),
+        workers=config.workers,
+        queue_size=config.queue_size,
+        default_timeout_s=config.job_timeout_s,
+    )
+    manager.start()
+    app = App(manager)
+
+    async def handle_connection(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except BadRequest as error:
+                await write_response(writer, Response.error(400, str(error)))
+                return
+            if request is None:
+                return
+            response = app.handle(request)
+            await write_response(writer, response)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to salvage
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    server = await asyncio.start_server(
+        handle_connection, host=config.host, port=config.port
+    )
+    sockets = server.sockets or []
+    port = sockets[0].getsockname()[1] if sockets else config.port
+    handle = ServiceHandle(config=config, manager=manager, port=port)
+
+    loop = asyncio.get_running_loop()
+    if install_signal_handlers:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, handle.request_stop)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-main thread or unsupported platform
+
+    log(f"listening on http://{config.host}:{port}")
+    log(
+        f"workers {manager.workers}, queue {manager.queue_size}, "
+        f"shards per job {config.jobs}"
+    )
+    obs.gauge("service.port").set(port)
+    if ready is not None:
+        ready(handle)
+
+    try:
+        await handle.stopping.wait()
+    finally:
+        log("draining: no new jobs, waiting for running work")
+        server.close()
+        await server.wait_closed()
+        await manager.drain(timeout=config.drain_timeout_s)
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.remove_signal_handler(signum)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
+        counts = manager.counts()
+        log(f"drained: {counts}")
+
+
+def run_service(config: ServiceConfig, *, log: Log = _silent) -> int:
+    """Blocking entry point for ``ddoscovery serve``; returns exit code."""
+    try:
+        asyncio.run(serve(config, log=log))
+    except OSError as error:  # port in use, bad interface, ...
+        log(f"cannot listen on {config.host}:{config.port}: {error}")
+        return 1
+    return 0
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An ephemeral port (for smoke scripts that need to know it early)."""
+    with socket.socket() as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]

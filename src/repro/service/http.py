@@ -1,0 +1,152 @@
+"""Minimal HTTP/1.1 primitives over asyncio streams.
+
+The daemon's public surface is a handful of small JSON endpoints, so a
+full web framework would be the project's first third-party server
+dependency for no gain.  This module implements exactly what the
+service needs and nothing more: request parsing (method, path, query,
+headers, bounded body) and response serialisation, both over plain
+``asyncio`` stream reader/writers.  Connections are single-request
+(``Connection: close``), which keeps the daemon's lifecycle — and the
+SIGTERM drain — trivial to reason about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+import asyncio
+import json
+
+#: Reject request bodies above this size (a StudyConfig payload is <1 KB).
+MAX_BODY_BYTES = 1 << 20
+
+#: Reject unreasonable header sections outright.
+MAX_HEADER_BYTES = 1 << 16
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class BadRequest(Exception):
+    """Malformed request; the server answers 400 and closes."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        """The body decoded as JSON (raises :class:`BadRequest`)."""
+        if not self.body:
+            raise BadRequest("expected a JSON body")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise BadRequest(f"invalid JSON body: {error}") from None
+
+
+@dataclass
+class Response:
+    """One HTTP response ready for serialisation."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json; charset=utf-8"
+
+    @classmethod
+    def json(cls, payload: object, status: int = 200) -> "Response":
+        """A pretty-printed JSON response (sorted keys: stable output)."""
+        body = (
+            json.dumps(payload, indent=2, sort_keys=True, ensure_ascii=False)
+            + "\n"
+        ).encode("utf-8")
+        return cls(status=status, body=body)
+
+    @classmethod
+    def error(cls, status: int, message: str) -> "Response":
+        """The uniform error document."""
+        return cls.json({"error": {"status": status, "message": message}}, status)
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; ``None`` on a closed connection."""
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean close before any bytes
+        raise BadRequest("truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise BadRequest("request head too large") from None
+    if len(header_block) > MAX_HEADER_BYTES:
+        raise BadRequest("request head too large")
+
+    lines = header_block.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line: {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise BadRequest(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    path = unquote(split.path) or "/"
+    query = {key: value for key, value in parse_qsl(split.query)}
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise BadRequest("invalid Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise BadRequest("body too large")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise BadRequest("truncated body") from None
+
+    return Request(
+        method=method, path=path, query=query, headers=headers, body=body
+    )
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: Response
+) -> None:
+    """Serialise one response and flush it."""
+    reason = _REASONS.get(response.status, "Unknown")
+    head = (
+        f"HTTP/1.1 {response.status} {reason}\r\n"
+        f"Content-Type: {response.content_type}\r\n"
+        f"Content-Length: {len(response.body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    writer.write(head.encode("latin-1") + response.body)
+    await writer.drain()

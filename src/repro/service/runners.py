@@ -1,0 +1,306 @@
+"""Job bodies: translate service payloads into pipeline runs.
+
+:func:`parse_submission` validates a ``POST /v1/jobs`` body up front —
+unknown kinds, presets, or artifact names fail the request with a 400
+before anything is queued — and derives the job's **coalescing key**
+from content fingerprints (:func:`repro.core.cache.config_fingerprint`
+for studies and conformance, the spec fingerprint for sweeps), so two
+payloads that *mean* the same work coalesce even when they spell it
+differently (``{"preset": "seed0-small"}`` vs the equivalent explicit
+``{"seed": 0, "weeks": 69}``... wherever the fingerprints agree).
+
+:func:`make_runner` closes over the daemon's execution settings and
+dispatches on ``job.kind``.  Bodies run in a worker thread; they call
+:meth:`~repro.service.jobs.Job.raise_if_cancelled` between pipeline
+stages, and the sweep body additionally threads the cancel flag into
+``run_sweep(should_stop=...)`` so a cancelled sweep stops at the next
+cell boundary with its ledger intact.
+
+Every artifact a body produces is the **canonical JSON bytes** from
+:func:`repro.core.artifacts.artifact_json_bytes` — the same encoder the
+CLI's ``artifact get`` and the library's export helpers use — which is
+what makes an HTTP-fetched artifact bit-identical to its batch-produced
+twin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.service.jobs import Job, JobResult
+
+KINDS = ("study", "sweep", "conformance")
+
+
+@dataclass(frozen=True)
+class ServiceSettings:
+    """Execution knobs every job body shares."""
+
+    #: shard count per simulation (``repro.util.parallel.effective_jobs``
+    #: semantics: 0 = all cores).
+    jobs: int | None = 1
+    cache: bool | None = None
+    cache_dir: str | Path | None = None
+
+
+# -- payload parsing -----------------------------------------------------------
+
+
+def study_config_from_payload(payload: Any) -> "Any":
+    """Build a :class:`~repro.core.study.StudyConfig` from a JSON config.
+
+    Two spellings: ``{"preset": "seed0-small"}`` names a pinned
+    configuration from :func:`repro.core.golden.pinned_configs`, and
+    ``{"seed": 0, "weeks": 69}`` builds one over the shared
+    :func:`~repro.util.calendar.calendar_for_weeks` window (``weeks``
+    omitted or ``null`` means the full paper window).  Raises
+    :class:`ValueError` on anything else.
+    """
+    from repro.core.golden import pinned_configs
+    from repro.core.study import StudyConfig
+    from repro.util.calendar import calendar_for_weeks
+
+    if not isinstance(payload, dict):
+        raise ValueError("config must be a JSON object")
+    unknown = set(payload) - {"preset", "seed", "weeks"}
+    if unknown:
+        raise ValueError(f"unknown config keys: {sorted(unknown)}")
+    preset = payload.get("preset")
+    if preset is not None:
+        if set(payload) != {"preset"}:
+            raise ValueError("config preset does not combine with seed/weeks")
+        pinned = pinned_configs()
+        if preset not in pinned:
+            raise ValueError(
+                f"unknown config preset {preset!r}; available: {sorted(pinned)}"
+            )
+        return pinned[preset]
+    seed = payload.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ValueError("config seed must be an integer")
+    weeks = payload.get("weeks")
+    if weeks is not None and (not isinstance(weeks, int) or isinstance(weeks, bool)):
+        raise ValueError("config weeks must be an integer or null")
+    return StudyConfig(seed=seed, calendar=calendar_for_weeks(weeks))
+
+
+def parse_submission(body: Any) -> tuple[str, str, dict[str, Any]]:
+    """Validate one job submission; returns ``(kind, key, payload)``.
+
+    The returned payload is normalised (defaults filled in, artifact
+    lists sorted) so the job document shows exactly what will run, and
+    the key depends only on content fingerprints.  Raises
+    :class:`ValueError` with a client-facing message on bad input.
+    """
+    from repro.core.artifacts import artifact_names, artifact_spec
+    from repro.core.cache import config_fingerprint
+
+    if not isinstance(body, dict):
+        raise ValueError("submission must be a JSON object")
+    kind = body.get("kind")
+    if kind not in KINDS:
+        raise ValueError(f"kind must be one of {list(KINDS)}")
+
+    if kind == "study":
+        config = study_config_from_payload(body.get("config", {}))
+        names = body.get("artifacts")
+        if names is None:
+            names = artifact_names()
+        if not isinstance(names, list) or not all(
+            isinstance(name, str) for name in names
+        ):
+            raise ValueError("artifacts must be a list of names")
+        for name in names:
+            artifact_spec(name)  # raises KeyError listing valid names
+        names = sorted(set(names))
+        if not names:
+            raise ValueError("artifacts must not be empty")
+        fingerprint = config_fingerprint(config)
+        selection = hashlib.sha256(",".join(names).encode("ascii")).hexdigest()
+        payload = {
+            "kind": kind,
+            "config": dict(body.get("config", {})) or {"seed": 0, "weeks": None},
+            "artifacts": names,
+            "config_fingerprint": fingerprint,
+        }
+        return kind, f"study:{fingerprint}:{selection[:16]}", payload
+
+    if kind == "sweep":
+        from repro.sweep.presets import preset as sweep_preset
+        from repro.sweep.spec import spec_fingerprint
+
+        name = body.get("preset")
+        if not isinstance(name, str):
+            raise ValueError("sweep submissions need a preset name")
+        try:
+            spec = sweep_preset(name)
+        except KeyError as error:
+            raise ValueError(str(error.args[0])) from None
+        resume = body.get("resume", True)
+        if not isinstance(resume, bool):
+            raise ValueError("resume must be a boolean")
+        fingerprint = spec_fingerprint(spec)
+        payload = {
+            "kind": kind,
+            "preset": name,
+            "resume": resume,
+            "spec_fingerprint": fingerprint,
+        }
+        return kind, f"sweep:{fingerprint}:resume={resume}", payload
+
+    # conformance
+    config = study_config_from_payload(body.get("config", {}))
+    goldens = body.get("goldens", True)
+    if not isinstance(goldens, bool):
+        raise ValueError("goldens must be a boolean")
+    fingerprint = config_fingerprint(config)
+    payload = {
+        "kind": kind,
+        "config": dict(body.get("config", {})) or {"seed": 0, "weeks": None},
+        "goldens": goldens,
+        "config_fingerprint": fingerprint,
+    }
+    return kind, f"conformance:{fingerprint}:goldens={goldens}", payload
+
+
+# -- job bodies ----------------------------------------------------------------
+
+
+def _study_for(job: Job, settings: ServiceSettings) -> "Any":
+    from repro.core.study import Study
+
+    config = study_config_from_payload(job.payload["config"])
+    job.raise_if_cancelled()
+    study = Study(
+        config,
+        jobs=settings.jobs,
+        cache=settings.cache,
+        cache_dir=settings.cache_dir,
+    )
+    study.observations  # the expensive stage (sharded, cached)
+    job.raise_if_cancelled()
+    return study
+
+
+def run_study_job(job: Job, settings: ServiceSettings) -> JobResult:
+    """Simulate once, then extract each requested artifact."""
+    from repro.core.artifacts import artifact_json_bytes, study_envelope
+    from repro.core.cache import config_fingerprint
+
+    study = _study_for(job, settings)
+    artifacts: dict[str, bytes] = {}
+    for name in job.payload["artifacts"]:
+        job.raise_if_cancelled()
+        artifacts[name] = artifact_json_bytes(study_envelope(study, name))
+    return JobResult(
+        artifacts=artifacts,
+        summary={
+            "config_fingerprint": config_fingerprint(study.config),
+            "window": f"{study.calendar.start}..{study.calendar.end}",
+            "n_weeks": study.calendar.n_weeks,
+            "seed": study.config.seed,
+            "artifacts": sorted(artifacts),
+        },
+    )
+
+
+def run_sweep_job(job: Job, settings: ServiceSettings) -> JobResult:
+    """Run (or resume) a preset sweep; cancellation stops at a cell edge."""
+    from repro.core.artifacts import artifact_json_bytes
+    from repro.sweep.presets import preset as sweep_preset
+    from repro.sweep.scheduler import run_sweep
+
+    spec = sweep_preset(job.payload["preset"])
+    outcome = run_sweep(
+        spec,
+        jobs=settings.jobs,
+        resume=job.payload["resume"],
+        cache=settings.cache,
+        cache_dir=settings.cache_dir,
+        should_stop=lambda: job.cancel_requested,
+    )
+    # A stop honoured mid-sweep leaves the ledger resumable; surface the
+    # job as cancelled rather than pretending the ensemble completed.
+    job.raise_if_cancelled()
+    report = outcome.report
+    document = {
+        "kind": "sweep-report",
+        "preset": job.payload["preset"],
+        "sweep_id": outcome.sweep_id,
+        "spec_fingerprint": job.payload["spec_fingerprint"],
+        "n_cells": report.n_cells if report is not None else 0,
+        "n_done": len(report.cells) if report is not None else 0,
+        "stopped": outcome.stopped,
+        "rendered": report.render() if report is not None else "",
+    }
+    return JobResult(
+        artifacts={"report": artifact_json_bytes(document)},
+        summary={
+            "sweep_id": outcome.sweep_id,
+            "executed": len(outcome.executed),
+            "ledger_hits": len(outcome.ledger_hits),
+            "stopped": outcome.stopped,
+        },
+    )
+
+
+def run_conformance_job(job: Job, settings: ServiceSettings) -> JobResult:
+    """Evaluate paper conformance (and goldens, for pinned configs)."""
+    from repro.core.artifacts import artifact_json_bytes
+    from repro.core.cache import config_fingerprint
+    from repro.core.conformance import evaluate_conformance
+    from repro.core.golden import pinned_configs, verify_study
+
+    study = _study_for(job, settings)
+    report = evaluate_conformance(study)
+    job.raise_if_cancelled()
+    golden: dict[str, Any] | None = None
+    if job.payload["goldens"]:
+        fingerprint = config_fingerprint(study.config)
+        for name, pinned in pinned_configs().items():
+            if config_fingerprint(pinned) == fingerprint:
+                comparison = verify_study(study, name)
+                golden = {
+                    "name": name,
+                    "status": comparison.status,
+                    "mismatches": list(comparison.mismatches),
+                }
+                break
+    document = {
+        "kind": "conformance-report",
+        "config_fingerprint": config_fingerprint(study.config),
+        "ok": report.ok,
+        "n_pass": report.n_pass,
+        "n_fail": report.n_fail,
+        "n_skip": report.n_skip,
+        "statuses": report.statuses(),
+        "golden": golden,
+        "rendered": report.render(),
+    }
+    return JobResult(
+        artifacts={"conformance": artifact_json_bytes(document)},
+        summary={
+            "ok": report.ok,
+            "n_pass": report.n_pass,
+            "n_fail": report.n_fail,
+            "n_skip": report.n_skip,
+            "golden": None if golden is None else golden["status"],
+        },
+    )
+
+
+def make_runner(settings: ServiceSettings):
+    """The :class:`~repro.service.jobs.JobManager` runner for a daemon."""
+    bodies = {
+        "study": run_study_job,
+        "sweep": run_sweep_job,
+        "conformance": run_conformance_job,
+    }
+
+    def run(job: Job) -> JobResult:
+        return bodies[job.kind](job, settings)
+
+    return run

@@ -135,7 +135,7 @@ def extract_cell(study: "Study", cell: "SweepCell") -> CellResult:
             }
             year_means[label] = year_chunk_means(weekly.normalized)
 
-        matrix = study.figure6().normalized
+        matrix = study.artifact_result("fig6_correlation").normalized
         correlation: dict[str, float] = {}
         for i, a in enumerate(matrix.labels):
             for j in range(i + 1, len(matrix.labels)):
@@ -144,13 +144,13 @@ def extract_cell(study: "Study", cell: "SweepCell") -> CellResult:
                 )
 
         conformance_report = study.conformance()
-        upset = study.figure7()
+        upset = study.artifact_result("fig7_upset")
         headline: dict[str, Any] = {
             "set_shares": {
                 name: float(share) for name, share in upset.set_shares.items()
             },
             "all_four_share": float(upset.seen_by_all().share),
-            "ra_dp_crossing": study.figure5().last_crossing_quarter(),
+            "ra_dp_crossing": study.artifact_result("fig5_shares").last_crossing_quarter(),
         }
         return CellResult(
             index=cell.index,

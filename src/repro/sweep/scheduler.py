@@ -52,6 +52,9 @@ class SweepOutcome:
     report: SweepReport | None = None
     executed: list[int] = field(default_factory=list)
     ledger_hits: list[int] = field(default_factory=list)
+    #: ``True`` when a ``should_stop`` hook ended the run early; the
+    #: ledger stays resumable (re-run with ``resume=True`` to finish).
+    stopped: bool = False
 
     @property
     def n_cells(self) -> int:
@@ -96,6 +99,7 @@ def run_sweep(
     cache_dir: str | Path | None = None,
     sweep_dir: str | Path | None = None,
     write_manifests: bool = True,
+    should_stop: Callable[[], bool] | None = None,
     log: Log = _silent,
 ) -> SweepOutcome:
     """Run (or resume) a sweep to completion and aggregate it.
@@ -107,6 +111,12 @@ def run_sweep(
     report — deterministic.  ``cache``/``cache_dir`` are forwarded to
     each cell's :class:`~repro.core.study.Study`; ``sweep_dir``
     overrides where the ledger lives (default: the study cache root).
+
+    ``should_stop`` is polled between cells (the service daemon wires
+    job cancellation and SIGTERM drain to it); a ``True`` answer ends
+    the run after the in-flight cell with ``outcome.stopped`` set and
+    the ledger consistent — completed cells are never lost, and a later
+    ``resume=True`` run continues exactly where this one stopped.
     """
     cells = expand(spec)
     ledger = SweepLedger(spec, root=sweep_dir if sweep_dir is not None else cache_dir)
@@ -128,6 +138,13 @@ def run_sweep(
     with obs.span("sweep.run"):
         obs.gauge("sweep.cells").set(len(cells))
         for cell in cells:
+            if should_stop is not None and should_stop():
+                outcome.stopped = True
+                log(
+                    f"sweep {ledger.sweep_id}: stop requested after "
+                    f"{len(outcome.executed)} executed cells"
+                )
+                break
             if cell.index in state.cells:
                 record = state.cells[cell.index]
                 if record.get("config_fingerprint") != cell.config_fingerprint:

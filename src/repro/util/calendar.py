@@ -149,3 +149,25 @@ STUDY_CALENDAR = StudyCalendar(_dt.date(2019, 1, 1), _dt.date(2023, 6, 30))
 
 #: Law-enforcement booter takedowns marked in Figure 3 (per seizure warrants).
 TAKEDOWN_DATES = (_dt.date(2022, 12, 13), _dt.date(2023, 5, 4))
+
+#: Shortest calendar any entry point accepts (15-week normalisation
+#: baseline plus one trailing week).
+MIN_STUDY_WEEKS = 16
+
+
+def calendar_for_weeks(weeks: int | None) -> StudyCalendar:
+    """The paper window, optionally shortened to ``weeks`` from 2019-01-01.
+
+    The single resolution used by the CLI and the service, so a
+    ``"weeks": N`` job payload and a ``--weeks N`` flag can never build
+    different calendars (and coalesce on the same config fingerprint).
+    """
+    if weeks is None:
+        return STUDY_CALENDAR
+    if weeks < MIN_STUDY_WEEKS:
+        raise ValueError(
+            f"need at least {MIN_STUDY_WEEKS} weeks "
+            "(15-week normalisation baseline)"
+        )
+    start = _dt.date(2019, 1, 1)
+    return StudyCalendar(start, start + _dt.timedelta(days=weeks * 7))

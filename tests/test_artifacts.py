@@ -1,0 +1,163 @@
+"""Artifact registry tests: completeness, envelopes, deprecation shims.
+
+The registry in :mod:`repro.core.artifacts` is the one public mapping
+from stable names to study outputs; these tests pin its enumeration,
+the versioned envelope shape (via ``validate_artifact``), the canonical
+byte encoding shared with the service, and the legacy ``figureN()`` /
+``tableN()`` shims (warn once, then return the registry result).
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro.core.artifacts import (
+    ARTIFACTS,
+    ENVELOPE_REQUIRED,
+    artifact_json_bytes,
+    artifact_names,
+    artifact_spec,
+    registry_listing,
+    study_envelope,
+)
+from repro.core.validate import validate_artifact
+
+#: legacy accessor -> registry name (the full shim surface).
+SHIMS = {
+    "table1": "table1",
+    "table2": "table2",
+    "table4": "table4",
+    "figure2": "fig2_trends",
+    "figure3": "fig3_trends",
+    "figure4": "fig4_heatmap",
+    "figure5": "fig5_shares",
+    "figure6": "fig6_correlation",
+    "figure7": "fig7_upset",
+    "figure8": "fig8_highly_visible",
+    "figure10": "fig10_overlap",
+    "figure12": "fig12_newkid",
+    "figure14": "fig14_quarterly",
+}
+
+
+class TestRegistryShape:
+    def test_names_are_stable_and_ordered(self):
+        names = artifact_names()
+        assert names[0] == "table1"
+        assert "fig2_trends" in names
+        assert "federation" in names
+        assert "headline" in names
+        assert "fingerprints" in names
+        assert len(names) == len(set(names)) == len(ARTIFACTS)
+
+    def test_every_spec_is_fully_described(self):
+        for name, spec in ARTIFACTS.items():
+            assert spec.name == name
+            assert spec.title
+            assert spec.description
+            assert spec.schema_version >= 1
+            assert callable(spec.build)
+            assert callable(spec.payload)
+            assert isinstance(spec.schema, dict)
+
+    def test_listing_matches_spec_order(self):
+        listing = registry_listing()
+        assert [entry["name"] for entry in listing] == artifact_names()
+        for entry in listing:
+            assert {"name", "title", "paper_anchor", "schema_version"} <= set(
+                entry
+            )
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="table1"):
+            artifact_spec("figure99")
+
+
+class TestEnvelopes:
+    def test_all_artifacts_validate(self, small_study):
+        for name in artifact_names():
+            document = small_study.artifact(name)
+            assert validate_artifact(document) == [], name
+            assert set(ENVELOPE_REQUIRED) <= set(document)
+            assert document["artifact"] == name
+
+    def test_envelope_has_no_timestamps(self, small_study):
+        document = small_study.artifact("table1")
+        flat = json.dumps(document).lower()
+        assert "created" not in flat and "timestamp" not in flat
+
+    def test_validate_rejects_tampered_documents(self, small_study):
+        document = small_study.artifact("table1")
+        broken = dict(document, schema_version=999)
+        assert any("schema_version" in e for e in validate_artifact(broken))
+        del (stripped := dict(document))["config_fingerprint"]
+        assert validate_artifact(stripped)
+        assert validate_artifact({"artifact": "nope"})
+
+    def test_canonical_bytes_are_deterministic(self, small_study):
+        first = artifact_json_bytes(small_study.artifact("fig5_shares"))
+        second = artifact_json_bytes(study_envelope(small_study, "fig5_shares"))
+        assert first == second
+        assert first.endswith(b"\n")
+        # round-trips exactly (floats use repr; sorted keys)
+        assert artifact_json_bytes(json.loads(first)) == first
+
+
+class TestDeprecationShims:
+    def test_shims_warn_and_match_registry(self, small_study):
+        for legacy, name in SHIMS.items():
+            with pytest.warns(DeprecationWarning, match=name):
+                via_shim = getattr(small_study, legacy)()
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # registry path must not warn
+                via_registry = small_study.artifact_result(name)
+            spec = artifact_spec(name)
+            shim_bytes = json.dumps(spec.payload(via_shim), sort_keys=True)
+            registry_bytes = json.dumps(spec.payload(via_registry), sort_keys=True)
+            assert shim_bytes == registry_bytes, legacy
+
+    def test_figure9_and_13_shims(self, small_study):
+        for legacy, name in (("figure9", "federation"), ("figure13", "federation_akamai")):
+            with pytest.warns(DeprecationWarning, match=name):
+                via_shim = getattr(small_study, legacy)()
+            spec = artifact_spec(name)
+            assert json.dumps(spec.payload(via_shim), sort_keys=True) == json.dumps(
+                spec.payload(small_study.artifact_result(name)), sort_keys=True
+            )
+
+    def test_warning_names_the_migration_target(self, small_study):
+        with pytest.warns(DeprecationWarning) as captured:
+            small_study.table1()
+        message = str(captured[0].message)
+        assert "artifact_result('table1')" in message
+        assert "TUTORIAL" in message
+
+
+class TestFacade:
+    def test_public_surface_reexports(self):
+        import repro
+
+        for name in (
+            "run_study",
+            "Study",
+            "StudyConfig",
+            "ScenarioSpec",
+            "run_sweep",
+            "ARTIFACTS",
+            "artifact_names",
+            "artifact_json_bytes",
+            "validate_artifact",
+        ):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__
+
+    def test_export_helpers_write_canonical_bytes(self, small_study, tmp_path):
+        from repro.core.export import write_artifact_json
+
+        path = write_artifact_json(small_study, "table2", tmp_path / "t2.json")
+        assert path.read_bytes() == artifact_json_bytes(
+            small_study.artifact("table2")
+        )

@@ -72,3 +72,57 @@ class TestRun:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestArtifactCommand:
+    def test_list_enumerates_registry(self, capsys):
+        from repro.core.artifacts import artifact_names
+
+        assert main(["artifact", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in artifact_names():
+            assert name in output
+
+    def test_get_writes_canonical_bytes(self, small_study, tmp_path, capsys):
+        from repro.core.artifacts import artifact_json_bytes
+
+        assert (
+            main(
+                [
+                    "artifact",
+                    "get",
+                    "table2",
+                    "--preset",
+                    "seed0-small",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        written = (tmp_path / "table2.json").read_bytes()
+        assert written == artifact_json_bytes(small_study.artifact("table2"))
+
+    def test_get_prints_to_stdout(self, small_study, capsys):
+        assert main(["artifact", "get", "headline", "--preset", "seed0-small"]) == 0
+        document = __import__("json").loads(capsys.readouterr().out)
+        assert document["artifact"] == "headline"
+        assert document["schema_version"] >= 1
+
+    def test_get_rejects_unknown_name(self, small_study):
+        with pytest.raises(SystemExit, match="unknown artifact"):
+            main(["artifact", "get", "nope", "--preset", "seed0-small"])
+
+    def test_get_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit, match="unknown pinned config"):
+            main(["artifact", "get", "table1", "--preset", "nope"])
+
+
+class TestServeCommand:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["serve", "--workers", "0"])
+
+    def test_rejects_bad_queue_size(self):
+        with pytest.raises(SystemExit, match="--queue-size"):
+            main(["serve", "--queue-size", "0"])

@@ -1,0 +1,468 @@
+"""Service daemon tests: lifecycle, coalescing, cancellation, drain.
+
+Most tests run the real daemon (:func:`repro.service.daemon.serve`) on
+an ephemeral port inside ``asyncio.run`` with a *stub* runner, so the
+HTTP surface, job manager, and drain path are exercised end-to-end
+without simulating.  The byte-identity test swaps in the real runner
+against the session's cached ``seed0-small`` study and asserts the
+HTTP-fetched artifact equals the library's canonical bytes exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import threading
+
+import pytest
+
+import repro.service.daemon as daemon_module
+from repro.service import (
+    JobManager,
+    JobResult,
+    QueueFull,
+    ServiceConfig,
+    parse_submission,
+    study_config_from_payload,
+)
+from repro.service.daemon import serve
+
+
+async def request(port, method, path, body=None):
+    """One Connection: close HTTP exchange against the daemon."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b"" if body is None else json.dumps(body).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except ConnectionError:
+        pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ")[1])
+    return status, body
+
+
+async def request_json(port, method, path, body=None):
+    status, raw = await request(port, method, path, body)
+    return status, json.loads(raw) if raw else None
+
+
+async def poll_until(port, job_id, *states, tries=200):
+    for _ in range(tries):
+        _, document = await request_json(port, "GET", f"/v1/jobs/{job_id}")
+        if document["status"] in states:
+            return document
+        await asyncio.sleep(0.02)
+    raise AssertionError(f"job {job_id} never reached {states}: {document}")
+
+
+def run_daemon(test_body, *, runner=None, **config_kwargs):
+    """Run ``serve()`` on an ephemeral port and ``await test_body(handle)``.
+
+    ``runner`` replaces the real job bodies (monkeypatched at the daemon
+    module seam); the daemon is always drained before returning so no
+    worker threads outlive a test.
+    """
+    config = ServiceConfig(port=0, drain_timeout_s=10.0, **config_kwargs)
+
+    async def main():
+        original = daemon_module.make_runner
+        if runner is not None:
+            daemon_module.make_runner = lambda settings: runner
+        holder: dict = {}
+        try:
+            server = asyncio.create_task(
+                serve(config, ready=lambda handle: holder.update(handle=handle))
+            )
+            while "handle" not in holder:
+                await asyncio.sleep(0.005)
+                if server.done():
+                    server.result()  # surface startup errors
+            handle = holder["handle"]
+            try:
+                await test_body(handle)
+            finally:
+                handle.request_stop()
+                await asyncio.wait_for(server, timeout=30)
+        finally:
+            daemon_module.make_runner = original
+
+    asyncio.run(main())
+
+
+STUDY_PAYLOAD = {
+    "kind": "study",
+    "config": {"preset": "seed0-small"},
+    "artifacts": ["fig2_trends"],
+}
+
+
+def payload_for_seed(seed):
+    return {
+        "kind": "study",
+        "config": {"seed": seed, "weeks": 16},
+        "artifacts": ["table1"],
+    }
+
+
+class TestParseSubmission:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind must be one of"):
+            parse_submission({"kind": "bake-cake"})
+
+    def test_rejects_unknown_artifact(self):
+        with pytest.raises(KeyError, match="unknown artifact"):
+            parse_submission(
+                {"kind": "study", "config": {}, "artifacts": ["nope"]}
+            )
+
+    def test_rejects_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown config preset"):
+            parse_submission({"kind": "study", "config": {"preset": "x"}})
+        with pytest.raises(ValueError, match="unknown sweep preset"):
+            parse_submission({"kind": "sweep", "preset": "x"})
+
+    def test_rejects_short_window(self):
+        with pytest.raises(ValueError, match="16"):
+            study_config_from_payload({"weeks": 2})
+
+    def test_key_is_content_addressed(self):
+        _, key_a, _ = parse_submission(STUDY_PAYLOAD)
+        _, key_b, _ = parse_submission(
+            {  # same meaning, different spelling/order
+                "artifacts": ["fig2_trends", "fig2_trends"],
+                "config": {"preset": "seed0-small"},
+                "kind": "study",
+            }
+        )
+        _, key_c, _ = parse_submission(payload_for_seed(0))
+        assert key_a == key_b
+        assert key_a != key_c
+
+    def test_default_artifact_selection_is_everything(self):
+        from repro.core.artifacts import artifact_names
+
+        _, _, payload = parse_submission({"kind": "study", "config": {}})
+        assert payload["artifacts"] == sorted(artifact_names())
+
+
+class TestJobManagerUnit:
+    """Manager semantics that don't need a socket."""
+
+    def test_rejects_beyond_queue_size(self):
+        async def main():
+            manager = JobManager(lambda job: JobResult(), queue_size=2)
+            manager.submit("study", "k1", {})
+            manager.submit("study", "k2", {})
+            with pytest.raises(QueueFull):
+                manager.submit("study", "k3", {})
+            # coalescing onto an admitted job is still allowed at capacity
+            job, coalesced = manager.submit("study", "k1", {})
+            assert coalesced and job.key == "k1"
+
+        asyncio.run(main())
+
+    def test_cancel_queued_job_is_immediate(self):
+        async def main():
+            manager = JobManager(lambda job: JobResult(), queue_size=4)
+            job, _ = manager.submit("study", "k1", {})
+            cancelled = manager.cancel(job.id)
+            assert cancelled.status == "cancelled"
+            # a fresh submission with the same key gets a NEW job
+            replacement, coalesced = manager.submit("study", "k1", {})
+            assert not coalesced and replacement.id != job.id
+
+        asyncio.run(main())
+
+    def test_timeout_marks_job_and_requests_cancel(self):
+        async def main():
+            release = threading.Event()
+
+            def runner(job):
+                release.wait(10)
+                return JobResult()
+
+            manager = JobManager(runner, queue_size=2, default_timeout_s=0.1)
+            manager.start()
+            job, _ = manager.submit("study", "k1", {})
+            for _ in range(100):
+                if job.status == "timeout":
+                    break
+                await asyncio.sleep(0.02)
+            assert job.status == "timeout"
+            assert job.cancel_requested
+            release.set()
+            await manager.drain(timeout=5)
+
+        asyncio.run(main())
+
+
+class TestServiceLifecycle:
+    def test_submit_poll_fetch(self):
+        body = b'{"stub": true}\n'
+
+        def runner(job):
+            return JobResult(artifacts={"fig2_trends": body}, summary={"n": 1})
+
+        async def scenario(handle):
+            port = handle.port
+            status, document = await request_json(
+                port, "POST", "/v1/jobs", STUDY_PAYLOAD
+            )
+            assert status == 202 and document["coalesced"] is False
+            job_id = document["id"]
+
+            document = await poll_until(port, job_id, "done")
+            assert document["artifacts"] == ["fig2_trends"]
+            assert document["summary"] == {"n": 1}
+
+            status, raw = await request(
+                port, "GET", f"/v1/jobs/{job_id}/artifacts/fig2_trends"
+            )
+            assert status == 200 and raw == body
+
+            status, listing = await request_json(
+                port, "GET", f"/v1/jobs/{job_id}/artifacts"
+            )
+            assert status == 200 and listing["artifacts"] == ["fig2_trends"]
+
+        run_daemon(scenario, runner=runner)
+
+    def test_concurrent_identical_submissions_share_one_execution(self):
+        executions = []
+        release = threading.Event()
+
+        def runner(job):
+            executions.append(job.id)
+            release.wait(10)
+            return JobResult(artifacts={"fig2_trends": b"{}\n"})
+
+        async def scenario(handle):
+            port = handle.port
+            first, second = await asyncio.gather(
+                request_json(port, "POST", "/v1/jobs", STUDY_PAYLOAD),
+                request_json(port, "POST", "/v1/jobs", STUDY_PAYLOAD),
+            )
+            statuses = sorted([first[0], second[0]])
+            assert statuses == [200, 202]  # one admitted, one coalesced
+            assert first[1]["id"] == second[1]["id"]
+            release.set()
+            await poll_until(port, first[1]["id"], "done")
+            assert len(executions) == 1
+
+        run_daemon(scenario, runner=runner)
+
+    def test_cancellation_mid_run(self):
+        started = threading.Event()
+
+        def runner(job):
+            started.set()
+            while True:
+                job.raise_if_cancelled()
+                threading.Event().wait(0.02)
+
+        async def scenario(handle):
+            port = handle.port
+            _, document = await request_json(
+                port, "POST", "/v1/jobs", STUDY_PAYLOAD
+            )
+            job_id = document["id"]
+            while not started.is_set():
+                await asyncio.sleep(0.01)
+            status, document = await request_json(
+                port, "POST", f"/v1/jobs/{job_id}/cancel"
+            )
+            assert status == 200 and document["cancel_requested"]
+            document = await poll_until(port, job_id, "cancelled")
+            assert document["error"] == "cancelled while running"
+            # artifacts of a cancelled job are a conflict, not a 500
+            status, _ = await request_json(
+                port, "GET", f"/v1/jobs/{job_id}/artifacts"
+            )
+            assert status == 409
+
+        run_daemon(scenario, runner=runner)
+
+    def test_queue_full_answers_503(self):
+        release = threading.Event()
+
+        def runner(job):
+            release.wait(10)
+            return JobResult()
+
+        async def scenario(handle):
+            port = handle.port
+            codes = []
+            for seed in range(3):
+                status, _ = await request_json(
+                    port, "POST", "/v1/jobs", payload_for_seed(seed)
+                )
+                codes.append(status)
+            assert codes == [202, 202, 503]
+            release.set()
+
+        run_daemon(scenario, runner=runner, queue_size=2)
+
+    def test_error_surfaces_as_failed_job(self):
+        def runner(job):
+            raise RuntimeError("boom")
+
+        async def scenario(handle):
+            port = handle.port
+            _, document = await request_json(
+                port, "POST", "/v1/jobs", STUDY_PAYLOAD
+            )
+            document = await poll_until(port, document["id"], "failed")
+            assert "RuntimeError: boom" == document["error"]
+
+        run_daemon(scenario, runner=runner)
+
+    def test_malformed_requests(self):
+        async def scenario(handle):
+            port = handle.port
+            status, _ = await request_json(port, "GET", "/v1/jobs/nope")
+            assert status == 404
+            status, _ = await request_json(port, "DELETE", "/v1/health")
+            assert status == 405
+            status, _ = await request_json(port, "POST", "/v1/jobs", {"kind": "x"})
+            assert status == 400
+            # non-JSON body
+            status, raw = await request(port, "POST", "/v1/jobs")
+            assert status == 400
+
+        run_daemon(scenario, runner=lambda job: JobResult())
+
+    def test_health_metrics_and_registry(self):
+        async def scenario(handle):
+            port = handle.port
+            status, health = await request_json(port, "GET", "/v1/health")
+            assert status == 200 and health["status"] == "ok"
+            assert health["workers"] == 1
+
+            status, metrics = await request_json(port, "GET", "/v1/metrics")
+            assert status == 200 and "counters" in metrics
+
+            status, registry = await request_json(port, "GET", "/v1/artifacts")
+            from repro.core.artifacts import artifact_names
+
+            assert [a["name"] for a in registry["artifacts"]] == artifact_names()
+
+        run_daemon(scenario)
+
+
+class TestDrain:
+    def test_sigterm_drains_gracefully(self):
+        """SIGTERM cancels queued work, finishes running work, then exits."""
+        started = threading.Event()
+        release = threading.Event()
+        finished = []
+
+        def runner(job):
+            started.set()
+            release.wait(10)
+            finished.append(job.id)
+            return JobResult(artifacts={"a": b"{}\n"})
+
+        async def scenario(handle):
+            port = handle.port
+            _, running = await request_json(
+                port, "POST", "/v1/jobs", payload_for_seed(0)
+            )
+            _, queued = await request_json(
+                port, "POST", "/v1/jobs", payload_for_seed(1)
+            )
+            while not started.is_set():
+                await asyncio.sleep(0.01)
+
+            os.kill(os.getpid(), signal.SIGTERM)
+            while not handle.stopping.is_set():
+                await asyncio.sleep(0.01)
+            release.set()
+            # run_daemon's teardown awaits the drain; record ids to check after
+            scenario.running_id = running["id"]
+            scenario.queued_id = queued["id"]
+            scenario.handle = handle
+
+        run_daemon(scenario, runner=runner, workers=1, queue_size=4)
+        manager = scenario.handle.manager
+        assert manager.get(scenario.running_id).status == "done"
+        assert manager.get(scenario.queued_id).status == "cancelled"
+        assert finished == [scenario.running_id]
+        assert manager.draining
+
+    def test_submissions_after_drain_are_refused(self):
+        async def main():
+            manager = JobManager(lambda job: JobResult(), queue_size=4)
+            manager.start()
+            await manager.drain(timeout=5)
+            from repro.service import Draining
+
+            with pytest.raises(Draining):
+                manager.submit("study", "k", {})
+
+        asyncio.run(main())
+
+
+class TestByteIdentity:
+    """The acceptance criterion: HTTP bytes == library/CLI bytes."""
+
+    def test_served_artifact_matches_canonical_bytes(self, small_study):
+        from repro.core.artifacts import artifact_json_bytes
+
+        expected = artifact_json_bytes(small_study.artifact("fig2_trends"))
+
+        async def scenario(handle):
+            port = handle.port
+            _, document = await request_json(
+                port, "POST", "/v1/jobs", STUDY_PAYLOAD
+            )
+            document = await poll_until(
+                port, document["id"], "done", "failed", tries=3000
+            )
+            assert document["status"] == "done", document["error"]
+            status, raw = await request(
+                port,
+                "GET",
+                f"/v1/jobs/{document['id']}/artifacts/fig2_trends",
+            )
+            assert status == 200
+            scenario.raw = raw
+
+        # real runner: the session cache already holds the seed0-small
+        # simulation (small_study computed it), so this is extract-only.
+        run_daemon(scenario)
+        assert scenario.raw == expected
+
+    def test_job_manifest_carries_provenance(self, small_study):
+        async def scenario(handle):
+            port = handle.port
+            _, document = await request_json(
+                port, "POST", "/v1/jobs", STUDY_PAYLOAD
+            )
+            await poll_until(port, document["id"], "done", tries=3000)
+            scenario.job = handle.manager.get(document["id"])
+
+        run_daemon(scenario)
+        manifest = scenario.job.manifest
+        assert manifest is not None
+        assert manifest["job"]["job_id"] == scenario.job.id
+        assert manifest["job"]["kind"] == "study"
+        assert manifest["command"] == "service-job"
+
+        schema_path = os.path.join(
+            os.path.dirname(__file__), "manifest_schema.json"
+        )
+        with open(schema_path, encoding="utf-8") as handle:
+            schema = json.load(handle)
+        from repro import obs
+
+        assert obs.validate_manifest(manifest, schema) == []
