@@ -2,9 +2,11 @@
 
 Not a paper artefact: tracks the executor's scaling (serial vs 2 and 4
 worker processes over the same shard plan) and the cache's warm-load
-speedup.  Parallel speedup is asserted only when the machine actually has
-the cores; on smaller runners the numbers are still reported so history
-stays comparable.
+speedup.  Worker counts that exceed the cores this process may actually
+use are *not* timed — oversubscribed numbers only measure scheduler
+thrash — and the report carries an explicit ``SKIPPED`` line instead, so
+``PERF_parallel.txt`` history stays honest across differently-sized
+runners.  The scaling gate applies only when the cores exist.
 """
 
 import datetime as dt
@@ -41,9 +43,24 @@ def test_perf_parallel(benchmark, report):
     shards = plan_shards(CALENDAR.n_days)
 
     serial_s = min(_timed(1) for _ in range(2))
-    two_s = min(_timed(2) for _ in range(2))
-    benchmark.pedantic(lambda: simulate(CONFIG, jobs=4), rounds=3, iterations=1)
-    four_s = benchmark.stats.stats.min
+    timings: dict[int, float | None] = {1: serial_s}
+    for jobs in (2, 4):
+        if jobs > AVAILABLE_CORES:
+            timings[jobs] = None  # reported as SKIPPED below
+        elif jobs == 4:
+            benchmark.pedantic(
+                lambda: simulate(CONFIG, jobs=4), rounds=3, iterations=1
+            )
+            timings[jobs] = benchmark.stats.stats.min
+        else:
+            timings[jobs] = min(_timed(jobs) for _ in range(2))
+    if timings[4] is None:
+        # The benchmark fixture must still run once per test; time the
+        # largest worker count this machine can actually host.
+        runnable = max(jobs for jobs, t in timings.items() if t is not None)
+        benchmark.pedantic(
+            lambda: simulate(CONFIG, jobs=runnable), rounds=1, iterations=1
+        )
 
     lines = [
         "Parallel execution - sharded simulation, serial vs workers",
@@ -52,17 +69,26 @@ def test_perf_parallel(benchmark, report):
         f"~{shards[0][1] - shards[0][0]} days, {AVAILABLE_CORES} CPU(s) available",
         "",
         f"  jobs=1  {serial_s:6.2f}s   (baseline)",
-        f"  jobs=2  {two_s:6.2f}s   ({serial_s / two_s:4.2f}x)",
-        f"  jobs=4  {four_s:6.2f}s   ({serial_s / four_s:4.2f}x)",
     ]
+    for jobs in (2, 4):
+        timing = timings[jobs]
+        if timing is None:
+            lines.append(
+                f"  jobs={jobs}  SKIPPED (jobs={jobs} > cores={AVAILABLE_CORES})"
+            )
+        else:
+            lines.append(
+                f"  jobs={jobs}  {timing:6.2f}s   ({serial_s / timing:4.2f}x)"
+            )
     report("PERF_parallel", "\n".join(lines))
 
     # Output equality for any worker count is covered by
     # tests/test_parallel.py; here we only gate scaling, and only on
     # machines that can physically provide it.
     if AVAILABLE_CORES >= 4:
-        assert serial_s / four_s >= 1.8, (
-            f"expected >=1.8x at 4 workers, got {serial_s / four_s:.2f}x"
+        assert timings[4] is not None
+        assert serial_s / timings[4] >= 2.5, (
+            f"expected >=2.5x at 4 workers, got {serial_s / timings[4]:.2f}x"
         )
 
 

@@ -103,7 +103,42 @@ class AttackEvent:
         return bool(self.hp_selected & (1 << HP_BIT[platform]))
 
 
-class DayBatch:
+class _BatchColumns:
+    """Mask operations shared by every columnar batch shape.
+
+    Subclasses hold the parallel event columns (``attack_class``,
+    ``spoofed``, ``hp_selected``, ...) and expose per-event ``days``; the
+    observatory visibility models only ever touch this interface, which is
+    what lets one ``observe()`` implementation serve both per-day batches
+    and whole multi-day shards.
+    """
+
+    __slots__ = ()
+
+    def __len__(self) -> int:
+        return len(self.target)
+
+    @property
+    def is_direct_path(self) -> np.ndarray:
+        """Boolean mask of direct-path events."""
+        return self.attack_class == int(AttackClass.DIRECT_PATH)
+
+    @property
+    def is_reflection(self) -> np.ndarray:
+        """Boolean mask of reflection-amplification events."""
+        return self.attack_class == int(AttackClass.REFLECTION_AMPLIFICATION)
+
+    @property
+    def is_rsdos(self) -> np.ndarray:
+        """Boolean mask of randomly-spoofed direct-path events."""
+        return self.is_direct_path & self.spoofed
+
+    def hp_selected_mask(self, platform: str) -> np.ndarray:
+        """Boolean mask of events that selected the named honeypot platform."""
+        return (self.hp_selected & (1 << HP_BIT[platform])) != 0
+
+
+class DayBatch(_BatchColumns):
     """All ground-truth attacks that started on one study day.
 
     Attributes are parallel numpy arrays of length ``n``:
@@ -191,27 +226,10 @@ class DayBatch:
             if key not in bias or len(bias[key]) != n:
                 raise ValueError(f"bias array missing or wrong length: {key}")
 
-    def __len__(self) -> int:
-        return len(self.target)
-
     @property
-    def is_direct_path(self) -> np.ndarray:
-        """Boolean mask of direct-path events."""
-        return self.attack_class == int(AttackClass.DIRECT_PATH)
-
-    @property
-    def is_reflection(self) -> np.ndarray:
-        """Boolean mask of reflection-amplification events."""
-        return self.attack_class == int(AttackClass.REFLECTION_AMPLIFICATION)
-
-    @property
-    def is_rsdos(self) -> np.ndarray:
-        """Boolean mask of randomly-spoofed direct-path events."""
-        return self.is_direct_path & self.spoofed
-
-    def hp_selected_mask(self, platform: str) -> np.ndarray:
-        """Boolean mask of events that selected the named honeypot platform."""
-        return (self.hp_selected & (1 << HP_BIT[platform])) != 0
+    def days(self) -> np.ndarray:
+        """Per-event study-day indices (all equal for a day batch)."""
+        return np.full(len(self), self.day, dtype=np.int32)
 
     def event(self, index: int) -> AttackEvent:
         """Materialise one event record."""
@@ -237,3 +255,75 @@ class DayBatch:
         """Materialise every event record in order."""
         for index in range(len(self)):
             yield self.event(index)
+
+
+#: Event columns shared by :class:`DayBatch` and :class:`ShardBatch`
+#: (``days`` and ``bias`` are handled separately).
+EVENT_COLUMNS: tuple[tuple[str, type], ...] = (
+    ("attack_class", np.int8),
+    ("target", np.int64),
+    ("origin_asn", np.int64),
+    ("start", np.float64),
+    ("duration", np.float64),
+    ("pps", np.float64),
+    ("bps", np.float64),
+    ("vector_id", np.int16),
+    ("secondary_vector_id", np.int16),
+    ("carpet", np.bool_),
+    ("carpet_prefix_len", np.int8),
+    ("spoofed", np.bool_),
+    ("hp_selected", np.uint8),
+)
+
+
+class ShardBatch(_BatchColumns):
+    """All ground-truth attacks of one contiguous day range, columnar.
+
+    The shard-parallel executor synthesises whole 28-day shards as one
+    struct-of-arrays block: the same columns as :class:`DayBatch` plus a
+    per-event ``days`` array (int32, non-decreasing — events are appended
+    in day order).  Observatories sweep the whole shard with one
+    vectorised pass instead of re-walking per-day batches.
+    """
+
+    __slots__ = ("start_day", "stop_day", "days", "bias") + tuple(
+        name for name, _ in EVENT_COLUMNS
+    )
+
+    def __init__(
+        self,
+        start_day: int,
+        stop_day: int,
+        *,
+        days: np.ndarray,
+        bias: dict[str, np.ndarray],
+        **columns: np.ndarray,
+    ) -> None:
+        self.start_day = start_day
+        self.stop_day = stop_day
+        self.days = days
+        self.bias = bias
+        n = len(days)
+        for name, _ in EVENT_COLUMNS:
+            column = columns.pop(name)
+            if len(column) != n:
+                raise ValueError(f"array {name} length mismatch")
+            setattr(self, name, column)
+        if columns:
+            raise ValueError(f"unexpected columns: {sorted(columns)}")
+        for key in OBSERVATORY_KEYS:
+            if key not in bias or len(bias[key]) != n:
+                raise ValueError(f"bias array missing or wrong length: {key}")
+
+    def day_slices(self) -> Iterator[tuple[int, slice]]:
+        """``(day, slice)`` pairs covering the shard, in day order.
+
+        Days without events are skipped (their slice would be empty).
+        """
+        if not len(self):
+            return
+        edges = np.flatnonzero(np.diff(self.days)) + 1
+        starts = np.concatenate(([0], edges))
+        stops = np.concatenate((edges, [len(self)]))
+        for start, stop in zip(starts.tolist(), stops.tolist()):
+            yield int(self.days[start]), slice(start, stop)

@@ -39,12 +39,14 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.attacks.campaigns import Campaign, CampaignModel
+from repro.attacks.campaigns import Campaign, CampaignModel, prefix_columns
 from repro.attacks.events import (
+    EVENT_COLUMNS,
     HP_BIT,
     OBSERVATORY_KEYS,
     AttackClass,
     DayBatch,
+    ShardBatch,
 )
 from repro.attacks.landscape import LandscapeModel
 from repro.attacks.vectors import VECTORS, VectorKind, vector_ids
@@ -116,44 +118,74 @@ class GeneratorConfig:
 
 
 class _VictimPool:
-    """Bounded FIFO pool of recently attacked (target, ASN) pairs."""
+    """Bounded FIFO pool of recently attacked (target, ASN) pairs.
+
+    Stored as parallel circular-buffer arrays so a whole segment's
+    recurrence draws and pushes are two vectorised operations.  Recurrence
+    samples from the pool as it stood when the segment started; pushes
+    land afterwards — the day-to-day coupling the paper's ≈2:1
+    tuples-to-IPs ratio rests on is unchanged.
+    """
 
     def __init__(self, capacity: int) -> None:
         self._capacity = capacity
-        self._targets: list[tuple[int, int]] = []
+        self._targets = np.empty(capacity, dtype=np.int64)
+        self._asns = np.empty(capacity, dtype=np.int64)
+        self._size = 0
         self._cursor = 0
 
-    def push(self, target: int, asn: int) -> None:
-        if len(self._targets) < self._capacity:
-            self._targets.append((target, asn))
-        else:
-            self._targets[self._cursor] = (target, asn)
-            self._cursor = (self._cursor + 1) % self._capacity
+    def sample_many(
+        self, rng: np.random.Generator, count: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``count`` uniform draws (with replacement) from the pool."""
+        picks = rng.integers(self._size, size=count)
+        return self._targets[picks], self._asns[picks]
 
-    def sample(self, rng: np.random.Generator) -> tuple[int, int] | None:
-        if not self._targets:
-            return None
-        return self._targets[int(rng.integers(len(self._targets)))]
+    def push_many(self, targets: np.ndarray, asns: np.ndarray) -> None:
+        """Append pairs in order, overwriting the oldest beyond capacity."""
+        n = len(targets)
+        capacity = self._capacity
+        if n >= capacity:
+            targets = targets[-capacity:]
+            asns = asns[-capacity:]
+            n = capacity
+        free = min(capacity - self._size, n)
+        if free:
+            self._targets[self._size : self._size + free] = targets[:free]
+            self._asns[self._size : self._size + free] = asns[:free]
+            self._size += free
+        wrapped = n - free
+        if wrapped:
+            slots = (self._cursor + np.arange(wrapped)) % capacity
+            self._targets[slots] = targets[free:]
+            self._asns[slots] = asns[free:]
+            self._cursor = (self._cursor + wrapped) % capacity
 
     def __len__(self) -> int:
-        return len(self._targets)
+        return self._size
 
 
 @dataclass
 class _ClassSampler:
-    """Pre-extracted vector ids and weights for one attack class."""
+    """Pre-extracted vector ids and weight CDF for one attack class.
+
+    Draws by inverting the precomputed CDF with one ``searchsorted`` —
+    ``rng.choice(p=...)`` re-validates and re-normalises the weights on
+    every call, which dominated the per-segment cost.
+    """
 
     ids: np.ndarray
-    weights: np.ndarray
+    cumulative: np.ndarray
 
     @classmethod
     def for_kind(cls, kind: VectorKind) -> "_ClassSampler":
         ids = np.asarray(vector_ids(kind), dtype=np.int16)
         weights = np.asarray([VECTORS[i].weight for i in ids], dtype=np.float64)
-        return cls(ids=ids, weights=weights / weights.sum())
+        return cls(ids=ids, cumulative=np.cumsum(weights / weights.sum()))
 
     def draw(self, rng: np.random.Generator, count: int) -> np.ndarray:
-        return rng.choice(self.ids, size=count, p=self.weights)
+        picks = np.searchsorted(self.cumulative, rng.random(count), side="right")
+        return self.ids[np.minimum(picks, len(self.ids) - 1)]
 
 
 class GroundTruthGenerator:
@@ -203,9 +235,11 @@ class GroundTruthGenerator:
         self._packet_size = np.asarray(
             [vector.packet_size for vector in VECTORS], dtype=np.float64
         )
-        self._hosting_asns = {
-            info.asn for info in plan.ases if info.kind is ASKind.HOSTING
-        }
+        self._hosting_asns = np.asarray(
+            sorted(info.asn for info in plan.ases if info.kind is ASKind.HOSTING),
+            dtype=np.int64,
+        )
+        self._campaign_prefixes: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._hp_probability_lut = self._build_hp_probability_lut()
         self._weekly_noise = self._draw_weekly_noise()
         # Full runs number events contiguously from zero; day-range shards
@@ -261,60 +295,111 @@ class GroundTruthGenerator:
         victim recurrence pool carries state between consecutive days.
         """
         with span("generate.day"):
-            rng = self._rng = self._factory.stream(f"attacks/generator/day/{day}")
-            week = self.calendar.week_of_day(day)
-            active = self.campaigns.active(day)
-
-            class_rows: list[dict] = []
-            for attack_class in AttackClass:
-                base = self.landscape.expected_count(attack_class, day)
-                base *= self._weekly_noise[attack_class][week]
-                class_campaigns = [
-                    campaign for campaign in active if campaign.attack_class is attack_class
-                ]
-                expected_extra = base * sum(c.intensity for c in class_campaigns)
-                n_base = int(rng.poisson(base))
-                class_rows.append(
-                    {
-                        "attack_class": attack_class,
-                        "count": n_base,
-                        "campaign": None,
-                    }
-                )
-                for campaign in class_campaigns:
-                    n_extra = int(rng.poisson(base * campaign.intensity))
-                    if n_extra:
-                        class_rows.append(
-                            {
-                                "attack_class": attack_class,
-                                "count": n_extra,
-                                "campaign": campaign,
-                            }
-                        )
-                del expected_extra
-
-            segments = [
-                self._make_segment(day, row["attack_class"], row["count"], row["campaign"])
-                for row in class_rows
-                if row["count"] > 0
-            ]
-            segments.extend(self._cross_type_partners(day, segments))
+            segments = self._day_segments(day)
             batch = self._assemble(day, segments)
-        self._count_batch(batch)
+        self._count_day(segments)
         return batch
 
-    def _count_batch(self, batch: DayBatch) -> None:
+    def shard_batch(self) -> ShardBatch:
+        """Synthesise the generator's whole day range as one columnar batch.
+
+        The per-day RNG streams and the day iteration order are exactly
+        those of :meth:`batches`, so the shard holds the same events in the
+        same order — it just skips the per-day object churn and hands the
+        observatories one struct-of-arrays block to sweep.
+        """
+        start, stop = self.day_range
+        segments: list[dict] = []
+        day_chunks: list[np.ndarray] = []
+        for day in range(start, stop):
+            with span("generate.day"):
+                day_segments = self._day_segments(day)
+            self._count_day(day_segments)
+            for segment in day_segments:
+                segments.append(segment)
+                day_chunks.append(
+                    np.full(len(segment["target"]), day, dtype=np.int32)
+                )
+        if segments:
+            days = np.concatenate(day_chunks)
+            columns = {
+                name: np.concatenate([segment[name] for segment in segments])
+                for name, _ in EVENT_COLUMNS
+            }
+            bias = {
+                key: np.concatenate([segment["bias"][key] for segment in segments])
+                for key in OBSERVATORY_KEYS
+            }
+        else:
+            days = np.empty(0, dtype=np.int32)
+            columns = {
+                name: np.empty(0, dtype=dtype) for name, dtype in EVENT_COLUMNS
+            }
+            bias = {key: np.empty(0) for key in OBSERVATORY_KEYS}
+        return ShardBatch(start, stop, days=days, bias=bias, **columns)
+
+    def _day_segments(self, day: int) -> list[dict]:
+        """All event segments of one day (base classes, campaigns, partners)."""
+        rng = self._rng = self._factory.stream(f"attacks/generator/day/{day}")
+        week = self.calendar.week_of_day(day)
+        active = self.campaigns.active(day)
+
+        class_rows: list[dict] = []
+        for attack_class in AttackClass:
+            base = self.landscape.expected_count(attack_class, day)
+            base *= self._weekly_noise[attack_class][week]
+            class_campaigns = [
+                campaign for campaign in active if campaign.attack_class is attack_class
+            ]
+            n_base = int(rng.poisson(base))
+            class_rows.append(
+                {
+                    "attack_class": attack_class,
+                    "count": n_base,
+                    "campaign": None,
+                }
+            )
+            for campaign in class_campaigns:
+                n_extra = int(rng.poisson(base * campaign.intensity))
+                if n_extra:
+                    class_rows.append(
+                        {
+                            "attack_class": attack_class,
+                            "count": n_extra,
+                            "campaign": campaign,
+                        }
+                    )
+
+        segments = [
+            self._make_segment(day, row["attack_class"], row["count"], row["campaign"])
+            for row in class_rows
+            if row["count"] > 0
+        ]
+        segments.extend(self._cross_type_partners(day, segments))
+        return segments
+
+    def _count_day(self, segments: list[dict]) -> None:
         """Per-day pipeline metrics (pure accounting; no RNG touched)."""
         counter("generate.days").inc()
-        histogram("generate.batch_events").observe(float(len(batch)))
-        if not len(batch):
+        total = sum(len(segment["target"]) for segment in segments)
+        histogram("generate.batch_events").observe(float(total))
+        if not total:
             return
-        n_dp = int(batch.is_direct_path.sum())
+        n_dp = sum(
+            len(segment["target"])
+            for segment in segments
+            if segment["attack_class"][0] == int(AttackClass.DIRECT_PATH)
+        )
         counter("generate.events", cls="DP").inc(n_dp)
-        counter("generate.events", cls="RA").inc(len(batch) - n_dp)
-        counter("generate.events.carpet").inc(int(batch.carpet.sum()))
+        counter("generate.events", cls="RA").inc(total - n_dp)
+        counter("generate.events.carpet").inc(
+            sum(int(segment["carpet"].sum()) for segment in segments)
+        )
         counter("generate.events.multi_vector").inc(
-            int((batch.secondary_vector_id >= 0).sum())
+            sum(
+                int((segment["secondary_vector_id"] >= 0).sum())
+                for segment in segments
+            )
         )
 
     # -- segment synthesis ----------------------------------------------------
@@ -405,37 +490,55 @@ class GroundTruthGenerator:
     def _draw_targets(
         self, count: int, campaign: Campaign | None
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Targets and origin ASNs for ``count`` events."""
-        rng = self._rng
-        targets = np.empty(count, dtype=np.int64)
-        asns = np.empty(count, dtype=np.int64)
-        campaign_asn = campaign.target_asn if campaign is not None else None
-        campaign_prefixes = None
-        if campaign_asn is not None and campaign_asn in self.plan.ases:
-            campaign_prefixes = self.plan.ases.get(campaign_asn).prefixes or None
+        """Targets and origin ASNs for ``count`` events.
 
-        fresh = self.plan.sample_targets(rng, count)
+        Drawn as three vectorised passes (fresh plan sample, recurrence-pool
+        override, campaign-concentration override).  Recurrence samples the
+        pool as it stood when the segment started; the segment's own events
+        are pushed afterwards in one batch.
+        """
+        rng = self._rng
+        targets, asns = self.plan.sample_targets_with_asns(rng, count)
         recur_draw = rng.random(count)
         concentrate_draw = rng.random(count)
-        for i in range(count):
-            if campaign_prefixes is not None and concentrate_draw[i] < 0.7:
-                prefix = campaign_prefixes[int(rng.integers(len(campaign_prefixes)))]
-                targets[i] = prefix.network + int(rng.integers(prefix.size))
-                asns[i] = campaign_asn
-            elif recur_draw[i] < self.config.recurrence_probability:
-                pooled = self._pool.sample(rng)
-                if pooled is None:
-                    targets[i], asns[i] = self._fresh(fresh[i])
-                else:
-                    targets[i], asns[i] = pooled
-            else:
-                targets[i], asns[i] = self._fresh(fresh[i])
-            self._pool.push(int(targets[i]), int(asns[i]))
+
+        concentrated = np.zeros(count, dtype=bool)
+        campaign_columns = self._campaign_prefix_columns(campaign)
+        if campaign_columns is not None:
+            concentrated = concentrate_draw < 0.7
+
+        recur = (recur_draw < self.config.recurrence_probability) & ~concentrated
+        if len(self._pool) and recur.any():
+            pooled_targets, pooled_asns = self._pool.sample_many(
+                rng, int(recur.sum())
+            )
+            targets[recur] = pooled_targets
+            asns[recur] = pooled_asns
+
+        if concentrated.any():
+            bases, sizes = campaign_columns
+            n = int(concentrated.sum())
+            picks = rng.integers(len(bases), size=n)
+            offsets = rng.integers(sizes[picks])
+            targets[concentrated] = bases[picks] + offsets
+            asns[concentrated] = campaign.target_asn
+
+        self._pool.push_many(targets, asns)
         return targets, asns
 
-    def _fresh(self, target: np.int64) -> tuple[int, int]:
-        asn = self.plan.origin_as(int(target)) or 0
-        return int(target), asn
+    def _campaign_prefix_columns(
+        self, campaign: Campaign | None
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Columnar (base, size) prefixes of a campaign's target AS, memoised."""
+        if campaign is None or campaign.target_asn is None:
+            return None
+        asn = campaign.target_asn
+        if asn not in self._campaign_prefixes:
+            info = self.plan.ases.get(asn)
+            prefixes = info.prefixes if info is not None else ()
+            columns = prefix_columns(prefixes) if prefixes else None
+            self._campaign_prefixes[asn] = columns
+        return self._campaign_prefixes[asn]
 
     def _draw_hp_selection(
         self,
@@ -489,6 +592,15 @@ class GroundTruthGenerator:
 
     # -- cross-type partners -----------------------------------------------------
 
+    def _in_hosting(self, asns: np.ndarray) -> np.ndarray:
+        """Boolean mask of ASNs that belong to hosting ASes."""
+        hosting = self._hosting_asns
+        if not len(hosting):
+            return np.zeros(len(asns), dtype=bool)
+        positions = np.searchsorted(hosting, asns)
+        positions = np.minimum(positions, len(hosting) - 1)
+        return hosting[positions] == asns
+
     def _cross_type_partners(self, day: int, segments: list[dict]) -> list[dict]:
         """Spawn other-class partner events for multi-attack-type targets."""
         rng = self._rng
@@ -498,13 +610,10 @@ class GroundTruthGenerator:
             count = len(segment["target"])
             if count == 0:
                 continue
-            boost = np.asarray(
-                [
-                    config.cross_type_hosting_boost
-                    if asn in self._hosting_asns
-                    else 1.0
-                    for asn in segment["origin_asn"]
-                ]
+            boost = np.where(
+                self._in_hosting(segment["origin_asn"]),
+                config.cross_type_hosting_boost,
+                1.0,
             )
             attack_class = AttackClass(int(segment["attack_class"][0]))
             median_pps = (

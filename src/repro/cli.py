@@ -358,6 +358,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the profile report to a file "
         "(e.g. benchmarks/results/PROFILE_seed0.txt)",
     )
+    profile.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="diff against a saved profile report: append a per-phase "
+        "self-time comparison and flag phases regressing >20%%",
+    )
 
     artifact = commands.add_parser(
         "artifact",
@@ -849,6 +856,29 @@ def _command_profile(args: argparse.Namespace) -> int:
         "",
         obs.render_metrics(registry.summary()),
     ]
+    if args.baseline is not None:
+        try:
+            baseline_text = args.baseline.read_text(encoding="utf-8")
+        except OSError as error:
+            print(f"cannot read baseline: {error}", file=sys.stderr)
+            return 2
+        baseline_rows = obs.parse_profile(baseline_text)
+        if not baseline_rows:
+            print(
+                f"no profile rows found in baseline {args.baseline}",
+                file=sys.stderr,
+            )
+            return 2
+        diff, regressed = obs.render_profile_diff(
+            obs.profile_rows(tracer.root), baseline_rows, top=args.top
+        )
+        lines += ["", f"baseline: {args.baseline}", "", diff]
+        if regressed:
+            print(
+                f"warning: {len(regressed)} phase(s) regressed >20% "
+                f"vs {args.baseline}",
+                file=sys.stderr,
+            )
     text = "\n".join(lines)
     print(text)
     if args.out is not None:

@@ -46,7 +46,10 @@ CACHE_DISABLE_ENV = "REPRO_NO_CACHE"
 #: stale files from older versions miss instead of deserialising garbage.
 #: v2: campaign spawning and weekly supply noise moved to per-(class, week)
 #: keyed RNG streams (calendar-prefix consistency).
-CACHE_SCHEMA_VERSION = 2
+#: v3: columnar shard generation + fused observatory sweep (vectorised
+#: target/vector draws consume different RNG variates than the per-event
+#: loops they replaced).
+CACHE_SCHEMA_VERSION = 3
 
 _META_KEY = "__meta__"
 _TRUTH_PREFIX = "truth::"
@@ -83,6 +86,17 @@ def sweeps_root(root: str | Path | None = None) -> Path:
     """
     base = Path(root).expanduser() if root is not None else default_cache_dir()
     return base / "sweeps"
+
+
+def transport_root(root: str | Path | None = None) -> Path:
+    """Where in-flight shard transport files live: ``<cache root>/transport``.
+
+    Each parallel run makes its own temporary directory underneath and
+    removes it when the run finishes (success or crash), so anything left
+    here is disposable by construction.
+    """
+    base = Path(root).expanduser() if root is not None else default_cache_dir()
+    return base / "transport"
 
 
 # -- config fingerprinting -----------------------------------------------------

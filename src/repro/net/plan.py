@@ -100,6 +100,10 @@ class InternetPlan:
         """Whether ``address`` lies in a prefix rerouted through Prolexic."""
         return self.akamai_customers.lookup(address) is not None
 
+    def akamai_customer_mask(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`is_akamai_customer` over an address array."""
+        return self.akamai_customers.covers_many(addresses)
+
     def is_netscout_covered(self, address: int) -> bool:
         """Whether the address's origin AS contributes alerts to Netscout."""
         origin = self.routing.origin_as(address)
@@ -115,6 +119,18 @@ class InternetPlan:
     def sample_targets(self, rng: np.random.Generator, count: int) -> np.ndarray:
         """Draw ``count`` attack-target addresses (heavy-tailed across ASes)."""
         return self._sampler.sample(rng, count)
+
+    def sample_targets_with_asns(
+        self, rng: np.random.Generator, count: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``count`` targets plus their origin ASNs in one pass.
+
+        The sampler picks a (prefix, offset) pair, and every sampled prefix
+        is announced by exactly the AS it was allocated to — so the origin
+        comes for free, without any per-address LPM lookup.  Consumes the
+        same RNG draws as :meth:`sample_targets`.
+        """
+        return self._sampler.sample_with_asns(rng, count)
 
     def sample_target(self, rng: np.random.Generator) -> int:
         """Draw one attack-target address."""
@@ -140,6 +156,7 @@ class TargetSampler:
     def __init__(self, ases: ASRegistry) -> None:
         bases: list[int] = []
         sizes: list[int] = []
+        asns: list[int] = []
         weights: list[float] = []
         for info in ases:
             if info.target_weight <= 0 or not info.prefixes:
@@ -148,19 +165,27 @@ class TargetSampler:
             for prefix in info.prefixes:
                 bases.append(prefix.network)
                 sizes.append(prefix.size)
+                asns.append(info.asn)
                 weights.append(info.target_weight * prefix.size / total)
         if not bases:
             raise ValueError("no targetable prefixes in plan")
         self._bases = np.asarray(bases, dtype=np.int64)
         self._sizes = np.asarray(sizes, dtype=np.int64)
+        self._asns = np.asarray(asns, dtype=np.int64)
         cumulative = np.cumsum(np.asarray(weights, dtype=np.float64))
         self._cumulative = cumulative / cumulative[-1]
 
     def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
         """``count`` sampled addresses as an int64 array."""
+        return self.sample_with_asns(rng, count)[0]
+
+    def sample_with_asns(
+        self, rng: np.random.Generator, count: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``count`` sampled addresses plus their owning ASNs (int64 each)."""
         picks = np.searchsorted(self._cumulative, rng.random(count), side="right")
         offsets = (rng.random(count) * self._sizes[picks]).astype(np.int64)
-        return self._bases[picks] + offsets
+        return self._bases[picks] + offsets, self._asns[picks]
 
 
 def _carve(cursor: list[int], length: int) -> Prefix:

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Generic, Iterator, TypeVar
 
+import numpy as np
+
 from repro.net.addr import IPV4_BITS, Prefix, prefix_of
 
 V = TypeVar("V")
@@ -22,6 +24,7 @@ class PrefixTable(Generic[V]):
         self._by_length: dict[int, dict[int, V]] = {}
         self._lengths_desc: list[int] = []
         self._size = 0
+        self._sorted_networks: dict[int, np.ndarray] = {}
 
     # -- mutation ------------------------------------------------------------
 
@@ -33,6 +36,7 @@ class PrefixTable(Generic[V]):
             self._lengths_desc = sorted(self._by_length, reverse=True)
         if prefix.network not in bucket:
             self._size += 1
+            self._sorted_networks.pop(prefix.length, None)
         bucket[prefix.network] = value
 
     def remove(self, prefix: Prefix) -> V:
@@ -42,6 +46,7 @@ class PrefixTable(Generic[V]):
             raise KeyError(str(prefix))
         value = bucket.pop(prefix.network)
         self._size -= 1
+        self._sorted_networks.pop(prefix.length, None)
         if not bucket:
             del self._by_length[prefix.length]
             self._lengths_desc = sorted(self._by_length, reverse=True)
@@ -78,6 +83,32 @@ class PrefixTable(Generic[V]):
             bucket = self._by_length[length]
             if network in bucket:
                 yield Prefix(network, length), bucket[network]
+
+    def covers_many(self, addresses: np.ndarray) -> np.ndarray:
+        """Boolean mask: whether *any* stored prefix covers each address.
+
+        One sorted ``searchsorted`` probe per distinct prefix length —
+        the vectorised membership test the observatory coverage models
+        run per batch (they only need membership, not the matched value).
+        """
+        out = np.zeros(len(addresses), dtype=bool)
+        if not len(addresses):
+            return out
+        for length in self._lengths_desc:
+            networks = self._sorted_networks.get(length)
+            if networks is None:
+                networks = np.sort(
+                    np.fromiter(
+                        self._by_length[length], dtype=np.int64,
+                        count=len(self._by_length[length]),
+                    )
+                )
+                self._sorted_networks[length] = networks
+            masked = addresses & np.int64(_MASKS[length])
+            positions = np.searchsorted(networks, masked)
+            positions[positions == len(networks)] = len(networks) - 1
+            out |= networks[positions] == masked
+        return out
 
     def longest_covering_all(
         self, addresses: list[int], min_length: int = 0, max_length: int = IPV4_BITS

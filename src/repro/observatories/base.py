@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.attacks.events import AttackClass, DayBatch
+from repro.attacks.events import AttackClass
 from repro.util.calendar import StudyCalendar
 
 
@@ -104,7 +104,7 @@ class Observations:
 
     def append(
         self,
-        day: int,
+        day: int | np.ndarray,
         target: np.ndarray,
         attack_class: np.ndarray,
         vector_id: np.ndarray,
@@ -112,10 +112,14 @@ class Observations:
         bps: np.ndarray,
         duration: np.ndarray | None = None,
     ) -> None:
-        """Record detections of one day (parallel arrays).
+        """Record detections (parallel arrays).
 
-        ``duration`` (seconds) is optional for backwards compatibility
-        with feeds that do not report it; missing values become NaN.
+        ``day`` is either one scalar study day (per-day batches) or a
+        per-record array (fused multi-day shard sweeps); per-record days
+        must be appended in non-decreasing order so downstream consumers
+        can rely on day-sortedness.  ``duration`` (seconds) is optional
+        for backwards compatibility with feeds that do not report it;
+        missing values become NaN.
         """
         if self._final is not None:
             raise RuntimeError("observations already finalised")
@@ -126,11 +130,16 @@ class Observations:
             raise ValueError("parallel arrays must have equal length")
         if duration is not None and len(duration) != n:
             raise ValueError("parallel arrays must have equal length")
+        days = np.asarray(day, dtype=np.int32)
+        if days.ndim == 0:
+            days = np.full(n, days, dtype=np.int32)
+        elif len(days) != n:
+            raise ValueError("parallel arrays must have equal length")
         if n == 0:
             return
         buffers = self._buffers
         assert buffers is not None
-        buffers["day"].extend(np.full(n, day, dtype=np.int32))
+        buffers["day"].extend(days)
         buffers["target"].extend(np.asarray(target, dtype=np.int64))
         buffers["attack_class"].extend(np.asarray(attack_class, dtype=np.int8))
         buffers["vector_id"].extend(np.asarray(vector_id, dtype=np.int16))
@@ -310,6 +319,17 @@ class VisibilityNoise:
             self._factors.append(min(1.0, float(draw)))
         return self._factors[week]
 
+    def factors_for(self, weeks: np.ndarray) -> np.ndarray:
+        """Per-event thinning factors for an array of week indices.
+
+        Fills the lazy cache forward to the largest requested week (same
+        draw order as repeated :meth:`factor` calls), then gathers.
+        """
+        if not len(weeks):
+            return np.empty(0)
+        self.factor(int(weeks.max()))
+        return np.asarray(self._factors)[weeks]
+
 
 class Observatory(abc.ABC):
     """A vantage point converting ground truth into observed attack records.
@@ -335,9 +355,22 @@ class Observatory(abc.ABC):
         """Whether the platform was dark on a study day."""
         return any(start <= day < end for start, end in self.outages)
 
+    def outage_mask(self, days: np.ndarray) -> np.ndarray:
+        """Boolean mask of per-event days that fall inside an outage."""
+        mask = np.zeros(len(days), dtype=bool)
+        for start, end in self.outages:
+            mask |= (days >= start) & (days < end)
+        return mask
+
     @abc.abstractmethod
-    def observe(self, batch: DayBatch, into: Observations) -> None:
-        """Process one ground-truth day batch, appending detections."""
+    def observe(self, batch, into: Observations) -> None:
+        """Process one ground-truth batch, appending detections.
+
+        ``batch`` is any columnar batch shape — a per-day
+        :class:`~repro.attacks.events.DayBatch` or a multi-day
+        :class:`~repro.attacks.events.ShardBatch`; implementations read
+        ``batch.days`` and must never assume a single day.
+        """
 
     def run(self, batches) -> Observations:
         """Convenience: run over an iterable of day batches."""

@@ -22,33 +22,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.events import AttackClass, DayBatch
+from repro.attacks.events import AttackClass
 from repro.net.plan import InternetPlan
 from repro.observatories.base import Observations, Observatory, VisibilityNoise
-
-
-class _PrefixMembershipCache:
-    """Memoised per-target membership in a prefix set (targets recur often).
-
-    Python-level lookups run once per *distinct* target in the batch; the
-    per-record expansion is a vectorised take.
-    """
-
-    def __init__(self, check) -> None:
-        self._check = check
-        self._memo: dict[int, bool] = {}
-
-    def __call__(self, targets: np.ndarray) -> np.ndarray:
-        memo = self._memo
-        check = self._check
-        unique, inverse = np.unique(targets, return_inverse=True)
-        flags = np.empty(len(unique), dtype=bool)
-        for i, raw in enumerate(unique.tolist()):
-            cached = memo.get(raw)
-            if cached is None:
-                cached = memo[raw] = check(raw)
-            flags[i] = cached
-        return flags[inverse]
 
 
 class _SortedMembership:
@@ -100,20 +76,23 @@ class NetscoutAtlas(Observatory):
         self._rng = rng
         self._covered = _SortedMembership(plan.netscout_customer_asns)
 
-    def observe(self, batch: DayBatch, into: Observations) -> None:
-        if len(batch) == 0 or self.in_outage(batch.day):
+    def observe(self, batch, into: Observations) -> None:
+        if len(batch) == 0:
             return
+        days = batch.days
         covered = self._covered(batch.origin_asn)
         above_floor = batch.bps >= self.severity_floor_bps
         probability = self.detection_probability * batch.bias[self.key]
         if self.noise is not None:
-            probability = probability * self.noise.factor(batch.day // 7)
+            probability = probability * self.noise.factors_for(days // 7)
         probability = np.minimum(1.0, probability)
         drawn = self._rng.random(len(batch)) < probability
         mask = covered & above_floor & drawn
+        if self.outages:
+            mask &= ~self.outage_mask(days)
         hits = np.flatnonzero(mask)
         into.append(
-            batch.day,
+            days[hits],
             batch.target[hits],
             batch.attack_class[hits],
             batch.vector_id[hits],
@@ -152,6 +131,16 @@ def _interpolate(points: list[tuple[float, float]], week: float) -> float:
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+def _interpolate_many(
+    points: list[tuple[float, float]], weeks: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`_interpolate` (``np.interp`` clamps at endpoints
+    exactly like the scalar version)."""
+    xs = np.asarray([w for w, _ in points], dtype=np.float64)
+    ys = np.asarray([v for _, v in points], dtype=np.float64)
+    return np.interp(weeks, xs, ys)
+
+
 class AkamaiProlexic(Observatory):
     """Akamai Prolexic: attacks on prefixes rerouted through its AS."""
 
@@ -178,29 +167,32 @@ class AkamaiProlexic(Observatory):
         self.exposure_curves = exposure_curves
         self.noise = noise
         self._rng = rng
-        self._covered = _PrefixMembershipCache(plan.is_akamai_customer)
+        self._covered = plan.akamai_customer_mask
 
-    def observe(self, batch: DayBatch, into: Observations) -> None:
-        if len(batch) == 0 or self.in_outage(batch.day):
+    def observe(self, batch, into: Observations) -> None:
+        if len(batch) == 0:
             return
+        days = batch.days
         covered = self._covered(batch.target)
         if not covered.any():
             return
         probability = self.detection_probability * batch.bias[self.key]
         if self.noise is not None:
-            probability = probability * self.noise.factor(batch.day // 7)
+            probability = probability * self.noise.factors_for(days // 7)
         probability = np.minimum(1.0, probability)
         if self.exposure_curves:
-            week = batch.day / 7.0
-            dp_exposure = _interpolate(AKAMAI_DP_EXPOSURE, week)
-            ra_exposure = _interpolate(AKAMAI_RA_EXPOSURE, week)
+            weeks = days / 7.0
+            dp_exposure = _interpolate_many(AKAMAI_DP_EXPOSURE, weeks)
+            ra_exposure = _interpolate_many(AKAMAI_RA_EXPOSURE, weeks)
             exposure = np.where(batch.is_reflection, ra_exposure, dp_exposure)
             probability = np.minimum(1.0, probability * exposure)
         drawn = self._rng.random(len(batch)) < probability
         mask = covered & drawn & (batch.bps >= self.min_bps)
+        if self.outages:
+            mask &= ~self.outage_mask(days)
         hits = np.flatnonzero(mask)
         into.append(
-            batch.day,
+            days[hits],
             batch.target[hits],
             batch.attack_class[hits],
             batch.vector_id[hits],
@@ -238,9 +230,10 @@ class IxpBlackholing(Observatory):
         self._rng = rng
         self._covered = _SortedMembership(plan.ixp_member_asns)
 
-    def observe(self, batch: DayBatch, into: Observations) -> None:
-        if len(batch) == 0 or self.in_outage(batch.day):
+    def observe(self, batch, into: Observations) -> None:
+        if len(batch) == 0:
             return
+        days = batch.days
         covered = self._covered(batch.origin_asn)
         threshold = np.where(
             batch.is_reflection, self.ra_threshold_bps, self.dp_threshold_bps
@@ -248,13 +241,15 @@ class IxpBlackholing(Observatory):
         above = batch.bps > threshold
         probability = self.blackhole_probability * batch.bias[self.key]
         if self.noise is not None:
-            probability = probability * self.noise.factor(batch.day // 7)
+            probability = probability * self.noise.factors_for(days // 7)
         probability = np.minimum(1.0, probability)
         requested = self._rng.random(len(batch)) < probability
         mask = covered & above & requested
+        if self.outages:
+            mask &= ~self.outage_mask(days)
         hits = np.flatnonzero(mask)
         into.append(
-            batch.day,
+            days[hits],
             batch.target[hits],
             batch.attack_class[hits],
             batch.vector_id[hits],

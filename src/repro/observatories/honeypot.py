@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.attacks.events import AttackClass, DayBatch
+from repro.attacks.events import AttackClass
 from repro.attacks.vectors import VECTORS
 from repro.net.addr import prefix_of
 from repro.net.rir import RirRegistry
@@ -131,14 +131,15 @@ class HoneypotPlatform(Observatory):
         self._supported_lut[self._supported_ids] = True
         self._log_request_pps_median = np.log(self.request_pps_median)
 
-    def observe(self, batch: DayBatch, into: Observations) -> None:
-        if self.in_outage(batch.day):
-            return
+    def observe(self, batch, into: Observations) -> None:
+        days = batch.days
         mask = (
             batch.is_reflection
             & batch.hp_selected_mask(self.key)
             & self._supported_lut[batch.vector_id]
         )
+        if self.outages:
+            mask &= ~self.outage_mask(days)
         if not mask.any():
             return
         indices = np.flatnonzero(mask)
@@ -154,8 +155,8 @@ class HoneypotPlatform(Observatory):
         packets = self._rng.poisson(expected)
         detected = packets >= self.spec.min_packets
         if self.noise is not None:
-            factor = self.noise.factor(batch.day // 7)
-            detected &= self._rng.random(len(indices)) < factor
+            factors = self.noise.factors_for(days[indices] // 7)
+            detected &= self._rng.random(len(indices)) < factors
         # NewKid's multi-port rule (>= 2 dst ports for multi-protocol
         # attacks) is always satisfied here: multi-vector events use two
         # service ports by construction, mono-vector events fall under the
@@ -166,20 +167,40 @@ class HoneypotPlatform(Observatory):
 
         carpet = batch.carpet[hits]
         plain = hits[~carpet]
-        into.append(
-            batch.day,
-            batch.target[plain],
-            batch.attack_class[plain],
-            batch.vector_id[plain],
-            batch.spoofed[plain],
-            batch.bps[plain],
-            duration=batch.duration[plain],
-        )
+        chunks = [
+            (
+                days[plain],
+                batch.target[plain],
+                batch.attack_class[plain],
+                batch.vector_id[plain],
+                batch.spoofed[plain],
+                batch.bps[plain],
+                batch.duration[plain],
+            )
+        ]
         for index in hits[carpet]:
-            self._record_carpet(batch, int(index), into)
+            chunks.append(
+                self._carpet_records(batch, int(index), int(days[index]))
+            )
+        day, target, attack_class, vector_id, spoofed, bps, duration = (
+            np.concatenate(parts) for parts in zip(*chunks)
+        )
+        # Carpet expansions append after the plain hits of every day; a
+        # stable day sort restores the non-decreasing day order downstream
+        # consumers rely on (and keeps within-day record order unchanged).
+        order = np.argsort(day, kind="stable")
+        into.append(
+            day[order],
+            target[order],
+            attack_class[order],
+            vector_id[order],
+            spoofed[order],
+            bps[order],
+            duration=duration[order],
+        )
 
-    def _record_carpet(self, batch: DayBatch, index: int, into: Observations) -> None:
-        """Record a carpet event as one observation per allocation block."""
+    def _carpet_records(self, batch, index: int, day: int) -> tuple:
+        """Columns of one carpet event: one record per allocation block."""
         prefix = prefix_of(int(batch.target[index]), int(batch.carpet_prefix_len[index]))
         if self.aggregate_carpet:
             blocks = self.rir.blocks_in(prefix)[: self.max_carpet_records]
@@ -206,12 +227,12 @@ class HoneypotPlatform(Observatory):
                 for _ in range(spread)
             ]
         count = len(targets)
-        into.append(
-            batch.day,
+        return (
+            np.full(count, day, dtype=np.int32),
             np.asarray(targets, dtype=np.int64),
             np.full(count, batch.attack_class[index], dtype=np.int8),
             np.full(count, batch.vector_id[index], dtype=np.int16),
             np.full(count, batch.spoofed[index], dtype=bool),
             np.full(count, batch.bps[index], dtype=np.float64),
-            duration=np.full(count, batch.duration[index], dtype=np.float64),
+            np.full(count, batch.duration[index], dtype=np.float64),
         )

@@ -55,19 +55,11 @@ class MitigationInterference:
         self._protected_asns = np.asarray(
             sorted(plan.netscout_customer_asns), dtype=np.int64
         )
-        self._akamai_memo: dict[int, bool] = {}
 
     def _is_protected(self, batch: DayBatch) -> np.ndarray:
         """Targets whose operators have DDoS protection in place."""
         by_asn = np.isin(batch.origin_asn, self._protected_asns)
-        memo = self._akamai_memo
-        check = self.plan.is_akamai_customer
-        by_prefix = np.empty(len(batch), dtype=bool)
-        for i, target in enumerate(batch.target.tolist()):
-            cached = memo.get(target)
-            if cached is None:
-                cached = memo[target] = check(target)
-            by_prefix[i] = cached
+        by_prefix = self.plan.akamai_customer_mask(batch.target)
         return by_asn | by_prefix
 
     def effective_durations(self, batch: DayBatch) -> np.ndarray:

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.attacks.events import AttackClass, DayBatch
+from repro.attacks.events import AttackClass
 from repro.net.addr import Prefix
 from repro.observatories.base import Observations, Observatory, VisibilityNoise
 
@@ -98,11 +98,12 @@ class NetworkTelescope(Observatory):
 
     # -- macro observation --------------------------------------------------------
 
-    def observe(self, batch: DayBatch, into: Observations) -> None:
+    def observe(self, batch, into: Observations) -> None:
         """Apply the RSDoS thresholds to Poisson-sampled backscatter."""
-        if self.in_outage(batch.day):
-            return
+        days = batch.days
         mask = batch.is_rsdos
+        if self.outages:
+            mask &= ~self.outage_mask(days)
         if not mask.any():
             return
         indices = np.flatnonzero(mask)
@@ -115,7 +116,9 @@ class NetworkTelescope(Observatory):
 
         backscatter_rate = pps * self._backscatter_share * bias
         if self.noise is not None:
-            backscatter_rate = backscatter_rate * self.noise.factor(batch.day // 7)
+            backscatter_rate = backscatter_rate * self.noise.factors_for(
+                days[indices] // 7
+            )
         expected_total = backscatter_rate * duration
         total = self._rng.poisson(expected_total)
 
@@ -129,7 +132,7 @@ class NetworkTelescope(Observatory):
         )
         hits = indices[detected]
         into.append(
-            batch.day,
+            days[hits],
             batch.target[hits],
             batch.attack_class[hits],
             batch.vector_id[hits],

@@ -30,6 +30,7 @@ from repro.service.app import App
 from repro.service.http import BadRequest, Response, read_request, write_response
 from repro.service.jobs import JobManager
 from repro.service.runners import ServiceSettings, make_runner
+from repro.util.parallel import effective_jobs, shutdown_pool, warm_pool
 
 Log = Callable[[str], None]
 
@@ -90,6 +91,13 @@ async def serve(
         default_timeout_s=config.job_timeout_s,
     )
     manager.start()
+    # Warm the persistent shard-worker pool up front: jobs submitted over
+    # the daemon's lifetime then reuse already-forked workers instead of
+    # paying process startup per request.
+    resolved_jobs = effective_jobs(config.jobs)
+    if resolved_jobs > 1:
+        warm_pool(resolved_jobs)
+        log(f"warmed shard worker pool: {resolved_jobs} processes")
     app = App(manager)
 
     async def handle_connection(
@@ -145,6 +153,7 @@ async def serve(
         server.close()
         await server.wait_closed()
         await manager.drain(timeout=config.drain_timeout_s)
+        shutdown_pool()
         if install_signal_handlers:
             for signum in (signal.SIGTERM, signal.SIGINT):
                 try:

@@ -21,21 +21,36 @@ front), and the CLI exposes it via ``--jobs``.
 Model substrate (Internet plan, landscape, campaigns) is deterministic and
 read-only, so it is memoised per process; on platforms with ``fork`` the
 parent warms the memo before spawning workers and children inherit it for
-free.
+free.  The worker pool itself is persistent (see :func:`warm_pool`):
+repeated parallel runs in one process — and every job handled by
+``ddoscovery serve`` — reuse already-forked workers instead of paying
+process startup per call.
 
 Each shard also runs inside its own observability collection context
 (:mod:`repro.obs`): the worker ships a metrics snapshot and span tree
 alongside the simulation result, and the parent merges the payloads in
 shard order — so ``--jobs N`` reports identical aggregate counters for
 any ``N``.
+
+Shard results travel home as zero-copy transport files, not pickles:
+each worker writes a columnar ``.shard`` file (:mod:`repro.core.shardio`)
+into a per-run temporary directory and returns only its path; the
+collector memory-maps the files and merges numpy views directly.  The
+run directory is removed in a ``finally`` block, so a crashed worker can
+never leave orphaned shard files behind.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
+import shutil
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -200,9 +215,11 @@ def run_shard(
         day_range=(start, stop),
     )
     observatories = _build_observatories(config, models.plan)
-    return observatories.run_with_ground_truth(
-        generator.batches(), config.calendar
-    )
+    # Columnar hot path: synthesise the whole day range as one
+    # struct-of-arrays shard, then let every observatory sweep it in one
+    # vectorised pass instead of re-walking per-day batches.
+    shard = generator.shard_batch()
+    return observatories.run_shard(shard, config.calendar)
 
 
 #: One shard's return payload: the simulation result plus the shard's
@@ -229,6 +246,109 @@ def _run_shard_task(task: tuple["StudyConfig", int, int]) -> ShardPayload:
         with span("simulate.shard"):
             result = run_shard(config, start, stop)
     return result, registry.snapshot(), tracer.tree()
+
+
+#: Tagged worker return: ``("file", path)`` for a transport file the
+#: collector should map and unlink, ``("mem", payload)`` for the pickle
+#: fallback when the transport directory is unusable.
+TransportResult = tuple[str, object]
+
+
+def _run_shard_to_file(
+    task: tuple["StudyConfig", int, int, str | None]
+) -> TransportResult:
+    """Worker entry point: run one shard, hand it home as a transport file.
+
+    Only the file *path* crosses the multiprocessing result queue — the
+    observation columns stay on disk until the collector maps them.  If
+    the transport directory cannot be written (read-only cache root, disk
+    full), the payload falls back to the pickle path so the run still
+    completes; the tag tells the collector which case it got.
+    """
+    from repro.core.shardio import write_shard
+
+    config, start, stop, transport_dir = task
+    payload = _run_shard_task((config, start, stop))
+    if transport_dir is None:
+        return "mem", payload
+    (sinks, ground_truth), snapshot, tree = payload
+    path = Path(transport_dir) / f"shard-{start:05d}-{stop:05d}.shard"
+    try:
+        write_shard(path, sinks, ground_truth, snapshot, tree)
+    except OSError:
+        return "mem", payload
+    return "file", str(path)
+
+
+def _collect_payload(result: TransportResult) -> ShardPayload:
+    """Resolve one worker return into an in-memory payload.
+
+    Transport files are memory-mapped (columns become zero-copy numpy
+    views over the mapping) and unlinked immediately — the mapping keeps
+    the pages alive until the merge has consumed them.
+    """
+    from repro.core.shardio import read_shard
+
+    kind, value = result
+    if kind == "mem":
+        return value  # type: ignore[return-value]
+    payload = read_shard(value)
+    try:
+        os.unlink(value)  # type: ignore[arg-type]
+    except OSError:
+        pass
+    return payload
+
+
+# -- persistent worker pool ----------------------------------------------------
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS = 0
+
+
+def _fork_context():
+    start_methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in start_methods else None
+    )
+
+
+def warm_pool(jobs: int | None = None) -> int:
+    """Ensure a persistent worker pool with at least ``jobs`` workers.
+
+    The pool outlives individual :func:`simulate` calls so repeated
+    parallel runs — notably every job handled by ``ddoscovery serve`` —
+    reuse already-forked workers instead of paying process startup each
+    time.  Returns the pool's worker count.  Idempotent: an existing pool
+    that is already large enough is kept (its forked children stay warm);
+    a smaller one is replaced.
+    """
+    global _POOL, _POOL_WORKERS
+    workers = resolve_jobs(jobs)
+    if _POOL is not None and _POOL_WORKERS >= workers:
+        return _POOL_WORKERS
+    shutdown_pool()
+    _POOL = ProcessPoolExecutor(
+        max_workers=workers, mp_context=_fork_context()
+    )
+    _POOL_WORKERS = workers
+    return workers
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent pool (safe to call when none exists).
+
+    After a worker crash (``BrokenProcessPool``) this is how the executor
+    recovers: the broken pool is discarded here and the next parallel
+    ``simulate()`` call re-warms a fresh one.
+    """
+    global _POOL, _POOL_WORKERS
+    pool, _POOL, _POOL_WORKERS = _POOL, None, 0
+    if pool is not None:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_pool)
 
 
 def merge_shard_results(
@@ -266,27 +386,62 @@ def simulate(
     width = shard_days if shard_days is not None else DEFAULT_SHARD_DAYS
     shards = plan_shards(config.calendar.n_days, width)
     workers = effective_jobs(jobs, len(shards))
-    tasks = [(config, start, stop) for start, stop in shards]
     with span("simulate"):
         gauge("simulate.shards").set(len(shards))
         if workers <= 1:
-            payloads = [_run_shard_task(task) for task in tasks]
+            payloads = [
+                _run_shard_task((config, start, stop))
+                for start, stop in shards
+            ]
         else:
-            # Warm the per-process substrate memo before the pool is
-            # created: with the fork start method every worker inherits the
-            # built models and pays no per-shard setup cost.
-            models_for(config)
-            start_methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in start_methods else None
-            )
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=context
-            ) as pool:
-                payloads = list(pool.map(_run_shard_task, tasks))
+            payloads = _simulate_parallel(config, shards, workers)
         results = []
         for result, snapshot, tree in payloads:
             results.append(result)
             absorb(snapshot, tree)
         with span("simulate.merge"):
             return merge_shard_results(results)
+
+
+def _simulate_parallel(
+    config: "StudyConfig",
+    shards: tuple[tuple[int, int], ...],
+    workers: int,
+) -> list[ShardPayload]:
+    """Fan shards out over the persistent pool with file transport.
+
+    The per-run transport directory lives under the cache root and is
+    removed in ``finally`` — worker crashes (and the half-written ``.tmp``
+    files they may leave) can never orphan shard files.  If the directory
+    cannot be created at all, workers fall back to shipping pickles.
+    """
+    from repro.core.cache import transport_root
+
+    # Warm the per-process substrate memo before the pool is created: with
+    # the fork start method every worker inherits the built models and
+    # pays no per-shard setup cost.  (A pool warmed earlier with a
+    # different config still works — workers rebuild their own memo once.)
+    models_for(config)
+    warm_pool(workers)
+    assert _POOL is not None
+    transport_dir: str | None
+    try:
+        root = transport_root()
+        root.mkdir(parents=True, exist_ok=True)
+        transport_dir = tempfile.mkdtemp(prefix="run-", dir=root)
+    except OSError:
+        transport_dir = None
+    tasks = [
+        (config, start, stop, transport_dir) for start, stop in shards
+    ]
+    try:
+        raw = list(_POOL.map(_run_shard_to_file, tasks))
+        return [_collect_payload(result) for result in raw]
+    except BrokenProcessPool:
+        # A dead worker poisons the whole executor; discard it so the
+        # next call re-warms a fresh pool instead of failing forever.
+        shutdown_pool()
+        raise
+    finally:
+        if transport_dir is not None:
+            shutil.rmtree(transport_dir, ignore_errors=True)

@@ -1,12 +1,18 @@
-"""Sharded/parallel executor: shard planning and determinism regression."""
+"""Sharded/parallel executor: shard planning, determinism regression, and
+the zero-copy shard transport lifecycle (crash hygiene, pool re-warming)."""
 
 from __future__ import annotations
 
 import datetime as dt
+import os
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 import pytest
 
+import repro.core.shardio as shardio
+import repro.util.parallel as parallel
+from repro.core.cache import transport_root
 from repro.core.study import Study, StudyConfig
 from repro.net.plan import PlanConfig
 from repro.observatories.base import OBSERVATION_COLUMNS
@@ -18,7 +24,9 @@ from repro.util.parallel import (
     plan_shards,
     resolve_jobs,
     run_shard,
+    shutdown_pool,
     simulate,
+    warm_pool,
 )
 
 
@@ -146,6 +154,94 @@ class TestDeterminism:
     def test_merge_requires_results(self):
         with pytest.raises(ValueError):
             merge_shard_results([])
+
+
+class TestShardTransport:
+    """The zero-copy file handoff between workers and the collector."""
+
+    def test_shard_file_roundtrip(self, short_config, tmp_path):
+        """write_shard → read_shard reproduces the payload exactly."""
+        start, stop = plan_shards(short_config.calendar.n_days)[0]
+        sinks, truth = run_shard(short_config, start, stop)
+        snapshot = {"counters": {"x": 1}}
+        tree = {"key": "simulate.shard", "children": []}
+        path = shardio.write_shard(
+            tmp_path / "one.shard", sinks, truth, snapshot, tree
+        )
+        (read_sinks, read_truth), read_snapshot, read_tree = shardio.read_shard(
+            path
+        )
+        _assert_identical((sinks, truth), (read_sinks, read_truth))
+        assert read_snapshot == snapshot
+        assert read_tree == tree
+
+    def test_read_shard_rejects_foreign_files(self, tmp_path):
+        bogus = tmp_path / "bogus.shard"
+        bogus.write_bytes(b"definitely not a shard file")
+        with pytest.raises(ValueError, match="not a shard file"):
+            shardio.read_shard(bogus)
+
+    def test_parallel_run_cleans_transport_dir(
+        self, short_config, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        shutdown_pool()  # fresh workers must inherit the env override
+        try:
+            simulate(short_config, jobs=2)
+        finally:
+            shutdown_pool()
+        root = transport_root()
+        assert not list(root.glob("*")) if root.is_dir() else True
+
+    def test_worker_crash_leaves_no_orphans_and_pool_rewarms(
+        self, short_config, tmp_path, monkeypatch
+    ):
+        """A worker dying mid-write orphans nothing; the pool recovers.
+
+        The crash is injected by patching ``write_shard`` *before* the
+        pool forks, so every worker inherits a version that leaves a
+        half-written file and dies.  The executor must surface
+        ``BrokenProcessPool``, remove the per-run transport directory
+        anyway, and allow the next parallel call to re-warm cleanly.
+        """
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+        def crash_mid_write(path, *args, **kwargs):
+            path.write_bytes(b"partial shard, about to die")
+            os._exit(3)
+
+        original = shardio.write_shard
+        shutdown_pool()  # workers forked after the patch inherit it
+        shardio.write_shard = crash_mid_write
+        try:
+            with pytest.raises(BrokenProcessPool):
+                simulate(short_config, jobs=2)
+        finally:
+            shardio.write_shard = original
+            shutdown_pool()
+        root = transport_root()
+        leftovers = list(root.glob("**/*")) if root.is_dir() else []
+        assert not leftovers, f"orphaned transport files: {leftovers}"
+        # The broken pool was discarded; a fresh one warms and works.
+        try:
+            _assert_identical(
+                simulate(short_config, jobs=2), simulate(short_config, jobs=1)
+            )
+        finally:
+            shutdown_pool()
+
+    def test_warm_pool_is_idempotent_and_shutdown_is_safe(self):
+        try:
+            assert warm_pool(2) == 2
+            # Already big enough: kept (forked workers stay warm).
+            assert warm_pool(1) == 2
+        finally:
+            shutdown_pool()
+        shutdown_pool()  # safe when no pool exists
+        try:
+            assert warm_pool(1) == 1
+        finally:
+            shutdown_pool()
 
 
 class TestStudyIntegration:

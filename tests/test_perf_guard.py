@@ -1,0 +1,33 @@
+"""Cheap tier-1 wall-clock guard on the simulation hot path.
+
+Real scaling numbers live in ``benchmarks/`` (``make bench-perf``); this
+is only a tripwire so a catastrophic hot-path regression — say the
+columnar generator quietly falling back to per-event Python — fails the
+fast tier instead of surviving until someone reruns the benchmarks.  The
+ceiling is deliberately generous (the seed0-small window simulates in
+well under 2 s on any recent machine) to stay robust on slow shared CI
+runners.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.golden import small_pinned_config
+from repro.util.parallel import simulate
+
+#: Generous ceiling: ~20x the expected serial wall time for this window.
+CEILING_S = 30.0
+
+
+def test_seed0_small_serial_simulate_under_ceiling():
+    config = small_pinned_config(0)
+    start = time.perf_counter()
+    sinks, ground_truth = simulate(config, jobs=1)
+    elapsed = time.perf_counter() - start
+    assert sum(len(obs) for obs in sinks.values()) > 0
+    assert all(weekly.sum() > 0 for weekly in ground_truth.values())
+    assert elapsed < CEILING_S, (
+        f"seed0-small serial simulate took {elapsed:.1f}s "
+        f"(ceiling {CEILING_S:.0f}s) — hot-path regression?"
+    )
