@@ -70,10 +70,19 @@ def main() -> int:
         text=True,
         env=env,
         cwd=REPO,
+        start_new_session=True,
     )
     try:
-        line = daemon.stderr.readline()
-        match = re.search(r"listening on http://([\d.]+):(\d+)", line)
+        # The announcement is not necessarily the first stderr line (the
+        # daemon logs pool warm-up before it), so scan until it appears.
+        match = None
+        for _ in range(20):
+            line = daemon.stderr.readline()
+            if not line:
+                break
+            match = re.search(r"listening on http://([\d.]+):(\d+)", line)
+            if match:
+                break
         if not match:
             fail(f"daemon did not announce a port: {line!r}")
         base = f"http://{match.group(1)}:{match.group(2)}"
@@ -154,7 +163,9 @@ def main() -> int:
         return 0
     finally:
         if daemon.poll() is None:
-            daemon.kill()
+            # Kill the whole session: the daemon's warm-pool workers share
+            # its command line and would otherwise outlive a plain kill().
+            os.killpg(daemon.pid, signal.SIGKILL)
             daemon.wait()
 
 

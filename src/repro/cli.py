@@ -34,7 +34,16 @@ Subcommands:
     Run the study service daemon: a zero-dependency REST API
     (``POST /v1/jobs``, ``GET /v1/jobs/{id}/artifacts/{name}``, ...)
     over a bounded job queue with request coalescing, cooperative
-    cancellation, and graceful SIGTERM drain — see ``docs/SERVICE.md``.
+    cancellation, and graceful SIGTERM drain.  Job bodies run on the
+    persistent multi-process warm pool by default (``--execution
+    process``) and artifact responses carry content-fingerprint ETags
+    honoured by ``If-None-Match`` — see ``docs/SERVICE.md``.
+``ddoscovery bench``
+    Load-test harness: ``bench serve`` runs the daemon in-process under
+    N concurrent socket clients (mixed submit / poll / fetch /
+    conditional-fetch workload plus a thundering-herd phase) and
+    reports p50/p99 latency, throughput, and the coalescing invariant —
+    the report behind ``benchmarks/results/PERF_service.txt``.
 
 ``run``, ``landscape``, ``conformance``, and ``profile`` accept
 ``--trace OUT.json`` (write a run manifest: config fingerprint, schema
@@ -59,7 +68,8 @@ Examples::
     ddoscovery profile --weeks 52 --top 15
     ddoscovery artifact list
     ddoscovery artifact get fig2_trends table2 --preset seed0-small
-    ddoscovery serve --port 8350 --workers 1 --jobs 0
+    ddoscovery serve --port 8350 --workers 2 --execution process
+    ddoscovery bench serve --clients 16 --out benchmarks/results/PERF_service.txt
 """
 
 from __future__ import annotations
@@ -451,6 +461,83 @@ def _build_parser() -> argparse.ArgumentParser:
         default=30.0,
         metavar="SECONDS",
         help="grace period for running jobs on SIGTERM (default 30)",
+    )
+    serve.add_argument(
+        "--execution",
+        choices=("process", "thread"),
+        default="process",
+        help="where job bodies run: 'process' uses the persistent warm "
+        "pool (default; crash- and GIL-isolated), 'thread' runs in-daemon",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="close connections whose request has not fully arrived in "
+        "this long (slow-loris guard; default 30)",
+    )
+
+    bench = commands.add_parser(
+        "bench",
+        help="load-test the service daemon (mixed workload, herd, 304s)",
+    )
+    bench_actions = bench.add_subparsers(dest="action", required=True)
+    bench_serve = bench_actions.add_parser(
+        "serve",
+        help="run the in-process daemon under N concurrent clients and "
+        "report p50/p99 latency, RPS, and coalescing behaviour",
+    )
+    bench_serve.add_argument(
+        "--clients", type=int, default=16, help="concurrent clients (default 16)"
+    )
+    bench_serve.add_argument(
+        "--requests",
+        type=int,
+        default=25,
+        help="requests per client in the mixed phase (default 25)",
+    )
+    bench_serve.add_argument(
+        "--herd",
+        type=int,
+        default=16,
+        help="simultaneous identical submissions in the herd phase "
+        "(default 16)",
+    )
+    bench_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="daemon job workers under test (default 2)",
+    )
+    bench_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="simulation shards per job (default 1)",
+    )
+    bench_serve.add_argument(
+        "--execution",
+        choices=("process", "thread"),
+        default="process",
+        help="daemon execution mode under test (default process)",
+    )
+    bench_serve.add_argument(
+        "--seed", type=int, default=0, help="study seed (default 0)"
+    )
+    bench_serve.add_argument(
+        "--weeks",
+        type=int,
+        default=16,
+        help="study window in weeks (default 16: small enough to warm "
+        "quickly, large enough to be a real artifact)",
+    )
+    bench_serve.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the report to a file "
+        "(e.g. benchmarks/results/PERF_service.txt)",
     )
 
     return parser
@@ -954,11 +1041,34 @@ def _command_serve(args: argparse.Namespace) -> int:
         queue_size=args.queue_size,
         job_timeout_s=args.job_timeout,
         drain_timeout_s=args.drain_timeout,
+        execution=args.execution,
+        request_timeout_s=args.request_timeout,
         jobs=args.jobs,
         cache=False if args.no_cache else None,
         cache_dir=args.cache_dir,
     )
     return run_service(
+        config, log=lambda message: print(message, file=sys.stderr, flush=True)
+    )
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.service import BenchConfig, run_bench
+
+    if args.clients < 1 or args.requests < 1 or args.herd < 2:
+        raise SystemExit("need --clients/--requests >= 1 and --herd >= 2")
+    config = BenchConfig(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        herd_size=args.herd,
+        seed=args.seed,
+        weeks=args.weeks,
+        workers=args.workers,
+        jobs=args.jobs,
+        execution=args.execution,
+        out=args.out,
+    )
+    return run_bench(
         config, log=lambda message: print(message, file=sys.stderr, flush=True)
     )
 
@@ -974,6 +1084,7 @@ _COMMANDS = {
     "profile": _command_profile,
     "artifact": _command_artifact,
     "serve": _command_serve,
+    "bench": _command_bench,
 }
 
 

@@ -14,8 +14,17 @@ gracefully — see :mod:`repro.service.jobs` for the execution contracts
 and ``docs/SERVICE.md`` for the operator view.  Artifact payloads come
 from the same canonical encoder as the CLI and library export paths, so
 bytes fetched over HTTP are bit-identical to batch output.
+
+The load tier (``docs/SERVICE.md``): job bodies run on the persistent
+multi-process warm pool by default (``execution="process"``), artifact
+responses carry content-fingerprint ``ETag`` headers honoured by
+``If-None-Match`` conditional GETs (:mod:`repro.service.hotcache`),
+large bodies stream in chunks, and ``ddoscovery bench serve``
+(:mod:`repro.service.bench`) load-tests the whole stack — including the
+thundering-herd coalescing invariant — under concurrent clients.
 """
 
+from repro.service.bench import BenchConfig, run_bench
 from repro.service.daemon import (
     ServiceConfig,
     ServiceHandle,
@@ -23,6 +32,8 @@ from repro.service.daemon import (
     run_service,
     serve,
 )
+from repro.service.hotcache import HotArtifactCache
+from repro.service.http import etag_matches, make_etag
 from repro.service.jobs import (
     CANCELLED,
     DONE,
@@ -38,6 +49,8 @@ from repro.service.jobs import (
     QueueFull,
 )
 from repro.service.runners import (
+    EXECUTION_MODES,
+    ProcessJob,
     ServiceSettings,
     make_runner,
     parse_submission,
@@ -47,22 +60,29 @@ from repro.service.runners import (
 __all__ = [
     "CANCELLED",
     "DONE",
+    "EXECUTION_MODES",
     "FAILED",
     "QUEUED",
     "RUNNING",
     "TIMEOUT",
+    "BenchConfig",
     "Draining",
+    "HotArtifactCache",
     "Job",
     "JobCancelled",
     "JobManager",
     "JobResult",
+    "ProcessJob",
     "QueueFull",
     "ServiceConfig",
     "ServiceHandle",
     "ServiceSettings",
+    "etag_matches",
     "free_port",
+    "make_etag",
     "make_runner",
     "parse_submission",
+    "run_bench",
     "run_service",
     "serve",
     "study_config_from_payload",

@@ -18,6 +18,14 @@ Error shape is uniform — ``{"error": {"status": ..., "message": ...}}`` —
 and artifact bytes are returned verbatim from the job result, never
 re-encoded, so the service can only serve what the canonical encoder
 produced.
+
+Artifact responses carry a content-fingerprint ``ETag`` (precomputed by
+the :class:`~repro.service.hotcache.HotArtifactCache` the moment the job
+completes) and honour ``If-None-Match``: a matching conditional GET
+answers ``304 Not Modified`` with zero body bytes.  Because artifact
+bytes are canonical and timestamp-free, the tags are also marked
+``Cache-Control: immutable`` — the same configuration can never serve
+different bytes under the same job.
 """
 
 from __future__ import annotations
@@ -25,7 +33,13 @@ from __future__ import annotations
 from typing import Any
 
 from repro import obs
-from repro.service.http import BadRequest, Request, Response
+from repro.service.hotcache import HotArtifactCache
+from repro.service.http import (
+    BadRequest,
+    Request,
+    Response,
+    etag_matches,
+)
 from repro.service.jobs import DONE, Draining, JobManager, QueueFull
 from repro.service.runners import parse_submission
 
@@ -33,8 +47,16 @@ from repro.service.runners import parse_submission
 class App:
     """Dispatch parsed requests against one :class:`JobManager`."""
 
-    def __init__(self, manager: JobManager) -> None:
+    def __init__(
+        self,
+        manager: JobManager,
+        *,
+        hot_cache: HotArtifactCache | None = None,
+        execution: str = "thread",
+    ) -> None:
         self.manager = manager
+        self.hot_cache = hot_cache if hot_cache is not None else HotArtifactCache()
+        self.execution = execution
 
     def handle(self, request: Request) -> Response:
         """Route one request (pure function of request + manager state)."""
@@ -101,8 +123,20 @@ class App:
                         f"job {job_id} has no artifact {tail[1]!r}; "
                         f"available: {sorted(job.result.artifacts)}",
                     )
+                etag = self.hot_cache.etag_for(job_id, tail[1], body)
+                conditional = request.headers.get("if-none-match")
+                if conditional is not None and etag_matches(conditional, etag):
+                    obs.counter("service.artifacts.not_modified").inc()
+                    return Response.not_modified(etag)
                 obs.counter("service.artifacts.served").inc()
-                return Response(status=200, body=body)
+                return Response(
+                    status=200,
+                    body=body,
+                    headers={
+                        "ETag": etag,
+                        "Cache-Control": "max-age=31536000, immutable",
+                    },
+                )
         return Response.error(404, f"no such path: {request.path}")
 
     # -- handlers ----------------------------------------------------------------
@@ -121,8 +155,10 @@ class App:
             {
                 "status": "draining" if manager.draining else "ok",
                 "workers": manager.workers,
+                "execution": self.execution,
                 "queue_size": manager.queue_size,
                 "jobs": manager.counts(),
+                "hot_cache_entries": len(self.hot_cache),
             }
         )
 

@@ -1,0 +1,433 @@
+"""``ddoscovery bench serve``: load-test the daemon under a mixed workload.
+
+Proves the service load tier end to end, with the daemon running
+in-process (its own event-loop thread) and **blocking-socket clients on
+real threads** — the same wire protocol external clients speak, so the
+measured latency includes request parsing, routing, ETag evaluation, and
+streamed response writes.
+
+Three phases:
+
+1. **Warmup** — submit one study job and poll it done, so the mixed
+   phase measures serving, not first-run simulation.
+2. **Thundering herd** — ``herd_size`` clients POST the *identical*
+   submission through a barrier (maximum simultaneity).  The invariant
+   is read off the daemon's own ``/v1/metrics``: the
+   ``service.jobs.executed`` counter moves by **exactly one** for the
+   whole herd, and every client then fetches the artifact under one
+   byte-identical ETag.
+3. **Mixed load** — ``clients`` threads each issue
+   ``requests_per_client`` requests cycling submit-coalesce / poll /
+   fetch / conditional fetch (``If-None-Match`` expecting 304).
+   Latency is recorded client-side per operation; the report carries
+   p50/p99 and overall RPS.
+
+Exit status is non-zero when any invariant fails (herd executed more
+than once, ETag mismatch, conditional GET not 304, request errors), so
+``make bench-serve`` doubles as a regression gate, not just a profiler.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+Log = Callable[[str], None]
+
+
+def _silent(_: str) -> None:
+    return None
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Everything ``ddoscovery bench serve`` can tune."""
+
+    #: concurrent clients in the mixed phase.
+    clients: int = 16
+    #: requests each mixed-phase client issues.
+    requests_per_client: int = 25
+    #: simultaneous identical submissions in the herd phase.
+    herd_size: int = 16
+    #: study configuration the workload runs against.
+    seed: int = 0
+    weeks: int = 16
+    #: daemon shape under test.
+    workers: int = 2
+    jobs: int | None = 1
+    execution: str = "process"
+    #: report destination (``None`` = stdout/log only).
+    out: Path | None = None
+
+
+@dataclass
+class _OpStats:
+    latencies_ms: list[float] = field(default_factory=list)
+    errors: int = 0
+
+    def record(self, elapsed_s: float) -> None:
+        self.latencies_ms.append(elapsed_s * 1000.0)
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an unsorted sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+# -- blocking HTTP client ------------------------------------------------------
+
+
+def http_exchange(
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    headers: tuple[tuple[str, str], ...] = (),
+    timeout_s: float = 60.0,
+) -> tuple[int, dict[str, str], bytes]:
+    """One ``Connection: close`` exchange; returns (status, headers, body)."""
+    payload = b"" if body is None else json.dumps(body).encode("utf-8")
+    lines = [
+        f"{method} {path} HTTP/1.1",
+        "Host: bench",
+        f"Content-Length: {len(payload)}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in headers)
+    raw = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout_s) as sock:
+        sock.sendall(raw)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    data = b"".join(chunks)
+    head, _, response_body = data.partition(b"\r\n\r\n")
+    head_lines = head.decode("latin-1").split("\r\n")
+    status = int(head_lines[0].split(" ")[1])
+    response_headers: dict[str, str] = {}
+    for line in head_lines[1:]:
+        name, _, value = line.partition(":")
+        response_headers[name.strip().lower()] = value.strip()
+    return status, response_headers, response_body
+
+
+def _poll_done(port: int, job_id: str, timeout_s: float = 600.0) -> dict:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        _, _, raw = http_exchange(port, "GET", f"/v1/jobs/{job_id}")
+        document = json.loads(raw)
+        if document["status"] in ("done", "failed", "cancelled", "timeout"):
+            return document
+        time.sleep(0.05)
+    raise TimeoutError(f"job {job_id} did not finish within {timeout_s:g}s")
+
+
+def _executed_total(port: int) -> int:
+    """Sum of ``service.jobs.executed`` counters (all ``kind`` labels)."""
+    _, _, raw = http_exchange(port, "GET", "/v1/metrics")
+    counters = json.loads(raw).get("counters", {})
+    total = 0
+    for key, value in counters.items():
+        name = key.split("{", 1)[0]
+        if name == "service.jobs.executed":
+            total += int(value)
+    return total
+
+
+# -- the daemon under test -----------------------------------------------------
+
+
+class _DaemonUnderTest:
+    """The real daemon on an ephemeral port, on its own loop thread."""
+
+    def __init__(self, config: BenchConfig) -> None:
+        import asyncio
+
+        from repro.service.daemon import ServiceConfig, serve
+
+        self._ready = threading.Event()
+        self._handle = None
+        self._loop = None
+
+        service_config = ServiceConfig(
+            port=0,
+            workers=config.workers,
+            queue_size=max(16, config.clients * 2),
+            jobs=config.jobs,
+            execution=config.execution,
+            drain_timeout_s=60.0,
+        )
+
+        def main() -> None:
+            async def run() -> None:
+                self._loop = asyncio.get_running_loop()
+
+                def ready(handle) -> None:
+                    self._handle = handle
+                    self._ready.set()
+
+                await serve(
+                    service_config, ready=ready, install_signal_handlers=False
+                )
+
+            asyncio.run(run())
+
+        self._thread = threading.Thread(
+            target=main, name="bench-daemon", daemon=True
+        )
+
+    def __enter__(self) -> int:
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("daemon did not come up within 30s")
+        return self._handle.port
+
+    def __exit__(self, *exc) -> None:
+        if self._loop is not None and self._handle is not None:
+            self._loop.call_soon_threadsafe(self._handle.request_stop)
+        self._thread.join(timeout=120)
+
+
+# -- the bench -----------------------------------------------------------------
+
+
+def run_bench(config: BenchConfig, *, log: Log = _silent) -> int:
+    """Run the full load scenario; returns a process exit code."""
+    failures: list[str] = []
+    report_lines: list[str] = []
+
+    def emit(line: str) -> None:
+        report_lines.append(line)
+        log(line)
+
+    submission = {
+        "kind": "study",
+        "config": {"seed": config.seed, "weeks": config.weeks},
+        "artifacts": ["table1"],
+    }
+    herd_submission = {
+        "kind": "study",
+        "config": {"seed": config.seed + 1, "weeks": config.weeks},
+        "artifacts": ["table1"],
+    }
+
+    with _DaemonUnderTest(config) as port:
+        emit("# service load bench")
+        emit(
+            f"daemon: workers={config.workers} execution={config.execution} "
+            f"jobs={config.jobs}"
+        )
+        emit(
+            f"workload: clients={config.clients} "
+            f"requests/client={config.requests_per_client} "
+            f"herd={config.herd_size} "
+            f"study=(seed={config.seed}, weeks={config.weeks})"
+        )
+        emit("")
+
+        # -- phase 1: warmup -------------------------------------------------
+        started = time.monotonic()
+        _, _, raw = http_exchange(port, "POST", "/v1/jobs", submission)
+        warm_id = json.loads(raw)["id"]
+        document = _poll_done(port, warm_id)
+        if document["status"] != "done":
+            failures.append(f"warmup job {document['status']}: {document['error']}")
+        warm_s = time.monotonic() - started
+        emit(f"warmup: job {warm_id} done in {warm_s:.2f}s")
+        artifact_path = f"/v1/jobs/{warm_id}/artifacts/table1"
+        _, headers, body = http_exchange(port, "GET", artifact_path)
+        warm_etag = headers.get("etag", "")
+        if not warm_etag:
+            failures.append("warmup artifact carried no ETag")
+        emit(f"warmup: artifact {len(body)} bytes, ETag {warm_etag}")
+        emit("")
+
+        # -- phase 2: thundering herd ----------------------------------------
+        executed_before = _executed_total(port)
+        barrier = threading.Barrier(config.herd_size)
+        herd_results: list[tuple[int, str] | None] = [None] * config.herd_size
+
+        def herd_client(index: int) -> None:
+            barrier.wait(timeout=30)
+            status, _, raw = http_exchange(port, "POST", "/v1/jobs", herd_submission)
+            herd_results[index] = (status, json.loads(raw).get("id", ""))
+
+        threads = [
+            threading.Thread(target=herd_client, args=(index,))
+            for index in range(config.herd_size)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        if any(result is None for result in herd_results):
+            failures.append("herd client(s) never returned")
+        herd_ids = {result[1] for result in herd_results if result}
+        herd_statuses = sorted(result[0] for result in herd_results if result)
+        if len(herd_ids) != 1:
+            failures.append(f"herd split across jobs: {sorted(herd_ids)}")
+        herd_id = next(iter(sorted(herd_ids)), "")
+        document = _poll_done(port, herd_id)
+        if document["status"] != "done":
+            failures.append(f"herd job {document['status']}: {document['error']}")
+        executed_delta = _executed_total(port) - executed_before
+        herd_path = f"/v1/jobs/{herd_id}/artifacts/table1"
+        etags = set()
+        for _ in range(config.herd_size):
+            _, headers, _ = http_exchange(port, "GET", herd_path)
+            etags.add(headers.get("etag", ""))
+        emit("## thundering herd (coalescing)")
+        emit(
+            f"{config.herd_size} identical submissions -> "
+            f"{len(herd_ids)} job, statuses {herd_statuses}"
+        )
+        emit(
+            f"service.jobs.executed moved by {executed_delta} "
+            f"(exactly one execution for the whole herd)"
+        )
+        emit(
+            f"{config.herd_size} fetches -> {len(etags)} distinct ETag(s): "
+            f"{sorted(etags)}"
+        )
+        if executed_delta != 1:
+            failures.append(
+                f"herd executed {executed_delta} times (expected exactly 1)"
+            )
+        if len(etags) != 1 or "" in etags:
+            failures.append(f"herd ETags not identical: {sorted(etags)}")
+        emit("")
+
+        # -- phase 3: mixed load ---------------------------------------------
+        ops = ("submit", "poll", "fetch", "fetch-304")
+        stats = {op: _OpStats() for op in ops}
+        stats_lock = threading.Lock()
+        start_barrier = threading.Barrier(config.clients)
+
+        def mixed_client(client_index: int) -> None:
+            local: dict[str, list[float]] = {op: [] for op in ops}
+            local_errors: dict[str, int] = {op: 0 for op in ops}
+            start_barrier.wait(timeout=30)
+            for request_index in range(config.requests_per_client):
+                op = ops[(client_index + request_index) % len(ops)]
+                began = time.monotonic()
+                try:
+                    if op == "submit":
+                        status, _, _ = http_exchange(
+                            port, "POST", "/v1/jobs", submission
+                        )
+                        ok = status == 200  # coalesced onto the warm job
+                    elif op == "poll":
+                        status, _, raw = http_exchange(
+                            port, "GET", f"/v1/jobs/{warm_id}"
+                        )
+                        ok = status == 200 and json.loads(raw)["status"] == "done"
+                    elif op == "fetch":
+                        status, headers, raw = http_exchange(
+                            port, "GET", artifact_path
+                        )
+                        ok = (
+                            status == 200
+                            and headers.get("etag") == warm_etag
+                            and len(raw) == len(body)
+                        )
+                    else:  # fetch-304
+                        status, headers, raw = http_exchange(
+                            port,
+                            "GET",
+                            artifact_path,
+                            headers=(("If-None-Match", warm_etag),),
+                        )
+                        ok = (
+                            status == 304
+                            and headers.get("etag") == warm_etag
+                            and raw == b""
+                        )
+                except OSError:
+                    ok = False
+                elapsed = time.monotonic() - began
+                if ok:
+                    local[op].append(elapsed * 1000.0)
+                else:
+                    local_errors[op] += 1
+            with stats_lock:
+                for op in ops:
+                    stats[op].latencies_ms.extend(local[op])
+                    stats[op].errors += local_errors[op]
+
+        threads = [
+            threading.Thread(target=mixed_client, args=(index,))
+            for index in range(config.clients)
+        ]
+        mixed_started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        mixed_s = time.monotonic() - mixed_started
+
+        total_requests = config.clients * config.requests_per_client
+        total_ok = sum(len(op_stats.latencies_ms) for op_stats in stats.values())
+        total_errors = sum(op_stats.errors for op_stats in stats.values())
+        rps = total_ok / mixed_s if mixed_s > 0 else 0.0
+        emit("## mixed workload")
+        emit(
+            f"{config.clients} clients x {config.requests_per_client} requests "
+            f"= {total_requests} total in {mixed_s:.2f}s"
+        )
+        emit(f"throughput: {rps:.1f} req/s ({total_ok} ok, {total_errors} errors)")
+        emit("")
+        emit(f"{'op':<12} {'count':>6} {'p50 ms':>9} {'p99 ms':>9} {'max ms':>9}")
+        for op in ops:
+            sample = stats[op].latencies_ms
+            emit(
+                f"{op:<12} {len(sample):>6} "
+                f"{_percentile(sample, 0.50):>9.2f} "
+                f"{_percentile(sample, 0.99):>9.2f} "
+                f"{max(sample) if sample else 0.0:>9.2f}"
+            )
+        all_latencies = [
+            value for op_stats in stats.values() for value in op_stats.latencies_ms
+        ]
+        emit(
+            f"{'all':<12} {len(all_latencies):>6} "
+            f"{_percentile(all_latencies, 0.50):>9.2f} "
+            f"{_percentile(all_latencies, 0.99):>9.2f} "
+            f"{max(all_latencies) if all_latencies else 0.0:>9.2f}"
+        )
+        emit("")
+        emit(
+            "conditional GET: repeated If-None-Match fetches answered 304 "
+            "with zero body bytes under the warmup ETag"
+        )
+        if total_errors:
+            failures.append(f"{total_errors} mixed-phase request(s) failed")
+
+    emit("")
+    if failures:
+        emit("FAILED invariants:")
+        for failure in failures:
+            emit(f"  - {failure}")
+    else:
+        emit("all invariants held")
+
+    if config.out is not None:
+        out = Path(config.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text("\n".join(report_lines) + "\n", encoding="utf-8")
+        log(f"report written to {out}")
+    return 1 if failures else 0

@@ -27,9 +27,10 @@ from typing import Callable
 
 from repro import obs
 from repro.service.app import App
+from repro.service.hotcache import HotArtifactCache
 from repro.service.http import BadRequest, Response, read_request, write_response
 from repro.service.jobs import JobManager
-from repro.service.runners import ServiceSettings, make_runner
+from repro.service.runners import EXECUTION_MODES, ServiceSettings, make_runner
 from repro.util.parallel import effective_jobs, shutdown_pool, warm_pool
 
 Log = Callable[[str], None]
@@ -53,6 +54,13 @@ class ServiceConfig:
     job_timeout_s: float | None = None
     #: grace period for running jobs during SIGTERM drain.
     drain_timeout_s: float = 30.0
+    #: where job bodies execute: "process" dispatches them onto the
+    #: persistent multi-process warm pool (the production default);
+    #: "thread" runs them on daemon threads (PR 5 behaviour).
+    execution: str = "process"
+    #: slow-loris guard: close connections whose request has not fully
+    #: arrived within this many seconds (answered 408 when possible).
+    request_timeout_s: float = 30.0
     #: shard count per simulation (0 = all cores).
     jobs: int | None = 1
     cache: bool | None = None
@@ -81,33 +89,64 @@ async def serve(
     install_signal_handlers: bool = True,
 ) -> None:
     """Run the daemon until stopped, then drain and return."""
+    if config.execution not in EXECUTION_MODES:
+        raise ValueError(
+            f"unknown execution mode {config.execution!r}; "
+            f"choose from {EXECUTION_MODES}"
+        )
     settings = ServiceSettings(
-        jobs=config.jobs, cache=config.cache, cache_dir=config.cache_dir
+        jobs=config.jobs,
+        cache=config.cache,
+        cache_dir=config.cache_dir,
+        execution=config.execution,
+        pool_workers=max(1, config.workers),
     )
+    hot_cache = HotArtifactCache()
     manager = JobManager(
         make_runner(settings),
         workers=config.workers,
         queue_size=config.queue_size,
         default_timeout_s=config.job_timeout_s,
+        on_done=hot_cache.warm_job,
     )
     manager.start()
-    # Warm the persistent shard-worker pool up front: jobs submitted over
-    # the daemon's lifetime then reuse already-forked workers instead of
-    # paying process startup per request.
-    resolved_jobs = effective_jobs(config.jobs)
-    if resolved_jobs > 1:
-        warm_pool(resolved_jobs)
-        log(f"warmed shard worker pool: {resolved_jobs} processes")
-    app = App(manager)
+    # Warm the persistent worker pool up front: jobs submitted over the
+    # daemon's lifetime then reuse already-forked processes instead of
+    # paying startup per request.  In "process" mode the pool runs whole
+    # job bodies; in "thread" mode it is only needed for sharded
+    # simulations.
+    if config.execution == "process":
+        warm_pool(max(1, config.workers))
+        log(f"warmed job worker pool: {max(1, config.workers)} processes")
+    else:
+        resolved_jobs = effective_jobs(config.jobs)
+        if resolved_jobs > 1:
+            warm_pool(resolved_jobs)
+            log(f"warmed shard worker pool: {resolved_jobs} processes")
+    app = App(manager, hot_cache=hot_cache, execution=config.execution)
 
     async def handle_connection(
         reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
             try:
-                request = await read_request(reader)
+                request = await asyncio.wait_for(
+                    read_request(reader), timeout=config.request_timeout_s
+                )
             except BadRequest as error:
                 await write_response(writer, Response.error(400, str(error)))
+                return
+            except TimeoutError:
+                # Slow-loris guard: the request never fully arrived.
+                obs.counter("service.http.timeouts").inc()
+                await write_response(
+                    writer,
+                    Response.error(
+                        408,
+                        "request not received within "
+                        f"{config.request_timeout_s:g}s",
+                    ),
+                )
                 return
             if request is None:
                 return
@@ -139,8 +178,8 @@ async def serve(
 
     log(f"listening on http://{config.host}:{port}")
     log(
-        f"workers {manager.workers}, queue {manager.queue_size}, "
-        f"shards per job {config.jobs}"
+        f"workers {manager.workers} ({config.execution}), "
+        f"queue {manager.queue_size}, shards per job {config.jobs}"
     )
     obs.gauge("service.port").set(port)
     if ready is not None:

@@ -1,0 +1,84 @@
+"""Precomputed hot artifact cache: content-fingerprint ETags.
+
+Artifact payloads are canonical, timestamp-free bytes, so their content
+hash is a perfect HTTP validator — the same study configuration always
+serves the same bytes under the same ETag, across daemon restarts and
+between the service, the CLI, and the library.  The bytes themselves
+already live on the job record (served zero-copy, never re-encoded);
+what repeated fetches would otherwise pay per request is the *hash*.
+
+:class:`HotArtifactCache` precomputes that hash the moment a job
+completes (the :class:`~repro.service.jobs.JobManager` ``on_done``
+hook), so the artifact hot path — including the thundering-herd case
+where every coalesced client fetches the same artifact — is a dict
+lookup, and a conditional ``GET`` with a matching ``If-None-Match``
+costs a 304 with no body bytes at all.  The index is a bounded LRU:
+under sustained traffic the newest jobs stay hot and evicted entries
+are simply re-hashed on demand.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro import obs
+from repro.service.http import make_etag
+
+#: Entries the LRU holds; at two small strings per entry this bounds the
+#: index to well under a megabyte even at the default size.
+DEFAULT_MAX_ENTRIES = 4096
+
+
+class HotArtifactCache:
+    """LRU of ``(job_id, artifact_name) -> content-fingerprint ETag``."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._etags: OrderedDict[tuple[str, str], str] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._etags)
+
+    # -- population ----------------------------------------------------------------
+
+    def warm_job(self, job) -> None:
+        """Precompute ETags for every artifact of a finished job.
+
+        Wired into the job manager's ``on_done`` hook: by the time the
+        first client polls the job ``done`` and fetches, the hot path is
+        already a lookup.  Safe on result-less jobs (no-op).
+        """
+        result = getattr(job, "result", None)
+        if result is None:
+            return
+        for name, body in result.artifacts.items():
+            self._insert((job.id, name), make_etag(body))
+        obs.counter("service.hotcache.warmed").inc(len(result.artifacts))
+
+    # -- lookup --------------------------------------------------------------------
+
+    def etag_for(self, job_id: str, name: str, body: bytes) -> str:
+        """The artifact's ETag: precomputed on the hot path, else rebuilt.
+
+        The miss path (an evicted entry, or a job finished before the
+        cache existed) hashes ``body`` and re-inserts, so correctness
+        never depends on the warm hook having run.
+        """
+        key = (job_id, name)
+        etag = self._etags.get(key)
+        if etag is not None:
+            self._etags.move_to_end(key)
+            obs.counter("service.hotcache.hits").inc()
+            return etag
+        obs.counter("service.hotcache.misses").inc()
+        etag = make_etag(body)
+        self._insert(key, etag)
+        return etag
+
+    def _insert(self, key: tuple[str, str], etag: str) -> None:
+        self._etags[key] = etag
+        self._etags.move_to_end(key)
+        while len(self._etags) > self.max_entries:
+            self._etags.popitem(last=False)

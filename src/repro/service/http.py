@@ -4,10 +4,17 @@ The daemon's public surface is a handful of small JSON endpoints, so a
 full web framework would be the project's first third-party server
 dependency for no gain.  This module implements exactly what the
 service needs and nothing more: request parsing (method, path, query,
-headers, bounded body) and response serialisation, both over plain
-``asyncio`` stream reader/writers.  Connections are single-request
-(``Connection: close``), which keeps the daemon's lifecycle — and the
-SIGTERM drain — trivial to reason about.
+headers, bounded body), response serialisation with extra headers and
+conditional-GET helpers, and chunked streaming writes for large bodies,
+all over plain ``asyncio`` stream reader/writers.  Connections are
+single-request (``Connection: close``), which keeps the daemon's
+lifecycle — and the SIGTERM drain — trivial to reason about.
+
+Robustness contract (pinned by the fault-injection tests): a malformed
+request line, an oversized header block, a stalled (slow-loris) client,
+or a disconnect mid-response each cost the daemon *one connection* —
+the offending socket is answered (where possible) and closed, and the
+listener keeps serving everyone else.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from dataclasses import dataclass, field
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 import asyncio
+import hashlib
 import json
 
 #: Reject request bodies above this size (a StudyConfig payload is <1 KB).
@@ -24,12 +32,20 @@ MAX_BODY_BYTES = 1 << 20
 #: Reject unreasonable header sections outright.
 MAX_HEADER_BYTES = 1 << 16
 
+#: Bodies larger than this are written (and flushed) in chunks of this
+#: size instead of one monolithic write, so a large artifact fetch never
+#: buffers megabytes in the transport unflushed and a slow or vanished
+#: reader surfaces as backpressure / ConnectionError at the next drain.
+STREAM_CHUNK_BYTES = 64 * 1024
+
 _REASONS = {
     200: "OK",
     202: "Accepted",
+    304: "Not Modified",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
@@ -39,6 +55,35 @@ _REASONS = {
 
 class BadRequest(Exception):
     """Malformed request; the server answers 400 and closes."""
+
+
+def make_etag(body: bytes) -> str:
+    """The strong entity tag for a response body.
+
+    Artifact payloads are canonical, timestamp-free bytes (one encoder
+    everywhere), so a content hash is a perfect validator: the same
+    study configuration yields the same artifact bytes yields the same
+    ETag, across daemon restarts and between service/CLI/library.
+    """
+    return '"' + hashlib.sha256(body).hexdigest()[:32] + '"'
+
+
+def etag_matches(header_value: str, etag: str) -> bool:
+    """Whether an ``If-None-Match`` header matches the entity tag.
+
+    Handles the ``*`` wildcard and comma-separated candidate lists;
+    weak validators (``W/"..."``) compare by opaque tag, which is the
+    correct weak-comparison behaviour for cache revalidation.
+    """
+    if header_value.strip() == "*":
+        return True
+    for candidate in header_value.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
 
 
 @dataclass
@@ -68,6 +113,8 @@ class Response:
     status: int = 200
     body: bytes = b""
     content_type: str = "application/json; charset=utf-8"
+    #: extra headers (ETag, Cache-Control, ...) appended to the head.
+    headers: dict[str, str] = field(default_factory=dict)
 
     @classmethod
     def json(cls, payload: object, status: int = 200) -> "Response":
@@ -82,6 +129,11 @@ class Response:
     def error(cls, status: int, message: str) -> "Response":
         """The uniform error document."""
         return cls.json({"error": {"status": status, "message": message}}, status)
+
+    @classmethod
+    def not_modified(cls, etag: str) -> "Response":
+        """The bodyless ``304`` answer to a matching conditional GET."""
+        return cls(status=304, headers={"ETag": etag})
 
 
 async def read_request(reader: asyncio.StreamReader) -> Request | None:
@@ -139,14 +191,30 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
 async def write_response(
     writer: asyncio.StreamWriter, response: Response
 ) -> None:
-    """Serialise one response and flush it."""
+    """Serialise one response; large bodies stream out in flushed chunks.
+
+    A ``304`` is bodyless by definition (the validator headers are the
+    payload).  Everything else carries an explicit ``Content-Length``;
+    bodies above :data:`STREAM_CHUNK_BYTES` are written chunk-by-chunk
+    with a drain between chunks, so the event loop regains control (and
+    a dead client raises) every 64 KiB instead of after one huge buffer.
+    """
     reason = _REASONS.get(response.status, "Unknown")
-    head = (
-        f"HTTP/1.1 {response.status} {reason}\r\n"
-        f"Content-Type: {response.content_type}\r\n"
-        f"Content-Length: {len(response.body)}\r\n"
-        "Connection: close\r\n"
-        "\r\n"
-    )
-    writer.write(head.encode("latin-1") + response.body)
+    lines = [f"HTTP/1.1 {response.status} {reason}"]
+    has_body = response.status != 304
+    if has_body:
+        lines.append(f"Content-Type: {response.content_type}")
+        lines.append(f"Content-Length: {len(response.body)}")
+    for name, value in response.headers.items():
+        lines.append(f"{name}: {value}")
+    lines.append("Connection: close")
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+    if has_body:
+        body = response.body
+        if len(body) <= STREAM_CHUNK_BYTES:
+            writer.write(body)
+        else:
+            for offset in range(0, len(body), STREAM_CHUNK_BYTES):
+                writer.write(body[offset : offset + STREAM_CHUNK_BYTES])
+                await writer.drain()
     await writer.drain()

@@ -160,6 +160,7 @@ class JobManager:
         workers: int = 1,
         queue_size: int = 16,
         default_timeout_s: float | None = None,
+        on_done: Callable[[Job], None] | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -169,6 +170,9 @@ class JobManager:
         self.workers = workers
         self.queue_size = queue_size
         self.default_timeout_s = default_timeout_s
+        #: called with each job that reaches ``done`` (the daemon warms
+        #: the hot artifact cache here); hook failures never fail jobs.
+        self.on_done = on_done
         self.draining = False
         self._jobs: dict[str, Job] = {}
         self._by_key: dict[str, str] = {}
@@ -311,6 +315,12 @@ class JobManager:
     async def _execute(self, job: Job) -> None:
         job.status = RUNNING
         job.started_s = time.time()
+        # The execution counter is what proves coalescing under load: a
+        # thundering herd of identical submissions shares one job, so
+        # this increments exactly once per herd.  Recorded before the
+        # per-job isolation context so it is visible in the daemon's
+        # registry while the job is still running.
+        obs.counter("service.jobs.executed", kind=job.kind).inc()
         loop = asyncio.get_running_loop()
         # Per-job observability contexts are only well-nested when one
         # job runs at a time; with more workers, bodies record straight
@@ -359,6 +369,11 @@ class JobManager:
         self._admitted = max(0, self._admitted - 1)
         obs.counter(f"service.jobs.{status}").inc()
         obs.gauge("service.queue.depth").set(self._admitted)
+        if status == DONE and self.on_done is not None:
+            try:
+                self.on_done(job)
+            except Exception:  # noqa: BLE001 - cache warming must not fail jobs
+                obs.counter("service.jobs.on_done_errors").inc()
 
 
 class _noop:

@@ -10,11 +10,26 @@ differently (``{"preset": "seed0-small"}`` vs the equivalent explicit
 ``{"seed": 0, "weeks": 69}``... wherever the fingerprints agree).
 
 :func:`make_runner` closes over the daemon's execution settings and
-dispatches on ``job.kind``.  Bodies run in a worker thread; they call
+dispatches on ``job.kind``.  Bodies call
 :meth:`~repro.service.jobs.Job.raise_if_cancelled` between pipeline
 stages, and the sweep body additionally threads the cancel flag into
 ``run_sweep(should_stop=...)`` so a cancelled sweep stops at the next
 cell boundary with its ledger intact.
+
+Two execution modes (``ServiceSettings.execution``):
+
+* ``"thread"`` — the body runs directly on the manager's worker thread
+  (the original PR 5 behaviour; also what stub runners in tests use).
+* ``"process"`` — the body is dispatched onto the **persistent
+  multi-process warm pool** (:func:`repro.util.parallel.pool_submit`),
+  so concurrent jobs parallelise across real processes, a job hogging
+  the GIL cannot stall the daemon, and a crashed body takes down one
+  worker process — never the service.  The thread-side wrapper polls
+  the future, relays cooperative cancellation through a flag *file*
+  (thread events do not cross process boundaries), absorbs the
+  worker's observability delta, and on ``BrokenProcessPool`` (a worker
+  killed mid-job) re-warms the pool and fails the job cleanly so the
+  next submission finds healthy workers.
 
 Every artifact a body produces is the **canonical JSON bytes** from
 :func:`repro.core.artifacts.artifact_json_bytes` — the same encoder the
@@ -26,13 +41,22 @@ twin.
 from __future__ import annotations
 
 import hashlib
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from repro.service.jobs import Job, JobResult
+from repro.service.jobs import Job, JobCancelled, JobResult
 
 KINDS = ("study", "sweep", "conformance")
+
+EXECUTION_MODES = ("thread", "process")
+
+#: How often the thread-side wrapper of a process job wakes to relay a
+#: cancellation request into the worker's flag file.
+_CANCEL_POLL_S = 0.05
 
 
 @dataclass(frozen=True)
@@ -44,6 +68,10 @@ class ServiceSettings:
     jobs: int | None = 1
     cache: bool | None = None
     cache_dir: str | Path | None = None
+    #: where job bodies run: "thread" (in-daemon) or "process" (warm pool).
+    execution: str = "thread"
+    #: warm-pool size process mode maintains (and restores after a crash).
+    pool_workers: int = 1
 
 
 # -- payload parsing -----------------------------------------------------------
@@ -292,15 +320,133 @@ def run_conformance_job(job: Job, settings: ServiceSettings) -> JobResult:
     )
 
 
+#: kind -> body.  Module-level (not closed over) so process workers
+#: resolve bodies from their own forked module state — which is also the
+#: seam fault-injection tests patch to simulate worker crashes.
+_BODIES = {
+    "study": run_study_job,
+    "sweep": run_sweep_job,
+    "conformance": run_conformance_job,
+}
+
+
+# -- process-mode dispatch -----------------------------------------------------
+
+
+@dataclass
+class ProcessJob:
+    """Worker-process stand-in for a :class:`Job`.
+
+    Exposes exactly the surface job bodies use (``id``, ``kind``,
+    ``payload``, cancellation checkpoints) and is picklable, unlike the
+    real job whose ``threading.Event`` cannot cross a process boundary.
+    Cancellation arrives as a flag *file*: the daemon-side wrapper
+    touches ``cancel_path`` when the client cancels, and every
+    checkpoint here is one ``os.path.exists`` probe.
+    """
+
+    id: str
+    kind: str
+    payload: dict[str, Any]
+    cancel_path: str | None = None
+
+    @property
+    def cancel_requested(self) -> bool:
+        return bool(self.cancel_path) and os.path.exists(self.cancel_path)
+
+    def raise_if_cancelled(self) -> None:
+        if self.cancel_requested:
+            raise JobCancelled(self.id)
+
+
+def _execute_job_body(
+    job_id: str,
+    kind: str,
+    payload: dict[str, Any],
+    settings: ServiceSettings,
+    cancel_path: str | None,
+) -> tuple[JobResult, dict, dict]:
+    """Warm-pool entry point: run one job body in this worker process.
+
+    Mirrors the shard-worker protocol: the body runs inside its own
+    observability collection context and ships ``(result, metrics
+    snapshot, span tree)`` home for the daemon to absorb, so
+    ``/v1/metrics`` aggregates stay complete in process mode.
+    """
+    from repro import obs
+
+    proxy = ProcessJob(
+        id=job_id, kind=kind, payload=payload, cancel_path=cancel_path
+    )
+    with obs.collecting() as registry, obs.tracing() as tracer:
+        with obs.span(f"service.body[{kind}]"):
+            result = _BODIES[kind](proxy, settings)
+    return result, registry.snapshot(), tracer.tree()
+
+
+def _run_job_in_pool(job: Job, settings: ServiceSettings) -> JobResult:
+    """Dispatch one job body onto the persistent warm pool and await it.
+
+    Runs on the manager's worker thread; the body itself runs in a pool
+    process.  The thread polls the future so it can relay a cooperative
+    cancel (touching the flag file) while the body is mid-flight.  A
+    worker killed mid-job surfaces as ``BrokenProcessPool``: the broken
+    pool is discarded, a fresh one is warmed immediately, and the job
+    fails with a clear error instead of hanging — the next submission
+    finds healthy workers.
+    """
+    from concurrent.futures import TimeoutError as FutureTimeout
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro import obs
+    from repro.util import parallel
+
+    cancel_dir = tempfile.mkdtemp(prefix="repro-job-cancel-")
+    cancel_path = os.path.join(cancel_dir, job.id)
+    try:
+        try:
+            future = parallel.pool_submit(
+                _execute_job_body,
+                job.id,
+                job.kind,
+                job.payload,
+                settings,
+                cancel_path,
+                workers=settings.pool_workers,
+            )
+            while True:
+                try:
+                    result, snapshot, tree = future.result(
+                        timeout=_CANCEL_POLL_S
+                    )
+                    break
+                except FutureTimeout:
+                    if job.cancel_requested and not os.path.exists(cancel_path):
+                        Path(cancel_path).touch()
+        except BrokenProcessPool:
+            parallel.shutdown_pool()
+            parallel.warm_pool(settings.pool_workers)
+            obs.counter("service.jobs.worker_crashes").inc()
+            raise RuntimeError(
+                "job worker process died unexpectedly (pool re-warmed)"
+            ) from None
+    finally:
+        shutil.rmtree(cancel_dir, ignore_errors=True)
+    obs.absorb(snapshot, tree)
+    return result
+
+
 def make_runner(settings: ServiceSettings):
     """The :class:`~repro.service.jobs.JobManager` runner for a daemon."""
-    bodies = {
-        "study": run_study_job,
-        "sweep": run_sweep_job,
-        "conformance": run_conformance_job,
-    }
+    if settings.execution not in EXECUTION_MODES:
+        raise ValueError(
+            f"execution must be one of {list(EXECUTION_MODES)}, "
+            f"got {settings.execution!r}"
+        )
 
     def run(job: Job) -> JobResult:
-        return bodies[job.kind](job, settings)
+        if settings.execution == "process":
+            return _run_job_in_pool(job, settings)
+        return _BODIES[job.kind](job, settings)
 
     return run

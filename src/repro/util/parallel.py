@@ -313,6 +313,27 @@ def _fork_context():
     )
 
 
+def _pool_worker_init() -> None:
+    """Reset inherited pool globals inside a freshly started worker.
+
+    Under the ``fork`` start method a worker inherits the parent's
+    ``_POOL`` global — an executor whose management thread and queues do
+    not survive the fork.  A worker that itself runs parallel work (a
+    service job body calling ``simulate(jobs=N)``) must build its own
+    sub-pool, so the inherited handle is cleared before any task runs.
+    """
+    global _POOL, _POOL_WORKERS
+    _POOL, _POOL_WORKERS = None, 0
+
+
+def _spawn_probe(delay_s: float) -> int:
+    """Warm-up task: occupies a worker long enough for all forks to happen."""
+    import time
+
+    time.sleep(delay_s)
+    return os.getpid()
+
+
 def warm_pool(jobs: int | None = None) -> int:
     """Ensure a persistent worker pool with at least ``jobs`` workers.
 
@@ -322,17 +343,61 @@ def warm_pool(jobs: int | None = None) -> int:
     time.  Returns the pool's worker count.  Idempotent: an existing pool
     that is already large enough is kept (its forked children stay warm);
     a smaller one is replaced.
+
+    Every worker is forked *here*, eagerly, not lazily at first submit:
+    ``ProcessPoolExecutor`` otherwise forks at submit time, which in the
+    service daemon means forking from a job thread while the event loop
+    and other threads are running — a classic fork-with-threads race
+    that intermittently loses the dispatch (the worker comes up but the
+    call pipe feeder never hands it work).  Warm sites are quiet
+    (process startup, daemon boot, crash recovery), so the forks happen
+    deterministically and later submits never spawn processes.
     """
     global _POOL, _POOL_WORKERS
     workers = resolve_jobs(jobs)
     if _POOL is not None and _POOL_WORKERS >= workers:
         return _POOL_WORKERS
     shutdown_pool()
-    _POOL = ProcessPoolExecutor(
-        max_workers=workers, mp_context=_fork_context()
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_fork_context(),
+        initializer=_pool_worker_init,
     )
+    # One probe per worker, each sleeping briefly so no probe finishes
+    # (and frees an idle worker) before every submit has forced a fork.
+    probes = [pool.submit(_spawn_probe, 0.02) for _ in range(workers)]
+    try:
+        for probe in probes:
+            probe.result(timeout=60)
+    except Exception:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    _POOL = pool
     _POOL_WORKERS = workers
     return workers
+
+
+def pool_workers() -> int:
+    """The current persistent pool's worker count (0 when no pool exists)."""
+    return _POOL_WORKERS
+
+
+def pool_submit(fn, /, *args, workers: int | None = None):
+    """Submit one callable to the persistent warm pool, warming on demand.
+
+    This is the service job layer's entry point: ``ddoscovery serve`` in
+    process-execution mode routes whole job bodies through here so they
+    run in warm worker processes instead of daemon threads.  ``workers``
+    is the pool size to (re)warm to when no adequate pool exists; an
+    existing larger pool is reused untouched.  Returns the
+    :class:`concurrent.futures.Future` for the task.  Raises
+    :class:`~concurrent.futures.process.BrokenProcessPool` if the pool
+    died — callers recover by ``shutdown_pool()`` + resubmitting, which
+    re-warms a fresh pool.
+    """
+    warm_pool(workers if workers is not None else max(_POOL_WORKERS, 1))
+    assert _POOL is not None
+    return _POOL.submit(fn, *args)
 
 
 def shutdown_pool() -> None:

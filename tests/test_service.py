@@ -30,15 +30,17 @@ from repro.service import (
 from repro.service.daemon import serve
 
 
-async def request(port, method, path, body=None):
-    """One Connection: close HTTP exchange against the daemon."""
+async def request_full(port, method, path, body=None, headers=()):
+    """One exchange, returning ``(status, headers-dict, body)``."""
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
     payload = b"" if body is None else json.dumps(body).encode("utf-8")
-    head = (
-        f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
-        f"Content-Length: {len(payload)}\r\n\r\n"
-    )
-    writer.write(head.encode("latin-1") + payload)
+    lines = [
+        f"{method} {path} HTTP/1.1",
+        "Host: test",
+        f"Content-Length: {len(payload)}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in headers)
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload)
     await writer.drain()
     raw = await reader.read()
     writer.close()
@@ -47,8 +49,19 @@ async def request(port, method, path, body=None):
     except ConnectionError:
         pass
     head, _, body = raw.partition(b"\r\n\r\n")
-    status = int(head.split(b" ")[1])
-    return status, body
+    head_lines = head.decode("latin-1").split("\r\n")
+    status = int(head_lines[0].split(" ")[1])
+    response_headers = {}
+    for line in head_lines[1:]:
+        name, _, value = line.partition(":")
+        response_headers[name.strip().lower()] = value.strip()
+    return status, response_headers, body
+
+
+async def request(port, method, path, body=None):
+    """One Connection: close HTTP exchange against the daemon."""
+    status, _, raw = await request_full(port, method, path, body)
+    return status, raw
 
 
 async def request_json(port, method, path, body=None):
@@ -70,8 +83,11 @@ def run_daemon(test_body, *, runner=None, **config_kwargs):
 
     ``runner`` replaces the real job bodies (monkeypatched at the daemon
     module seam); the daemon is always drained before returning so no
-    worker threads outlive a test.
+    worker threads outlive a test.  Execution defaults to "thread" here
+    (the pre-pool behaviour); process-mode coverage opts in explicitly
+    in test_service_load.py.
     """
+    config_kwargs.setdefault("execution", "thread")
     config = ServiceConfig(port=0, drain_timeout_s=10.0, **config_kwargs)
 
     async def main():

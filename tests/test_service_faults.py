@@ -1,0 +1,178 @@
+"""Fault injection against the daemon's HTTP layer.
+
+Every scenario here is one hostile (or unlucky) client: a garbage
+request line, an oversized header block, a slow-loris that never
+finishes its request, a client that vanishes mid-download.  The
+invariant under test is always the same — the fault costs exactly one
+connection, and the daemon keeps serving everyone else — so each test
+ends by proving ``/v1/health`` still answers 200.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.service import JobResult
+
+from tests.test_service import request_full, request_json, run_daemon
+
+
+async def _healthy(port):
+    status, document = await request_json(port, "GET", "/v1/health")
+    assert status == 200 and document["status"] == "ok"
+
+
+async def _raw_exchange(port, payload: bytes) -> bytes:
+    """Send raw bytes, read whatever comes back until close."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except ConnectionError:
+        pass
+    return raw
+
+
+class TestMalformedRequests:
+    def test_garbage_request_line_gets_400_and_daemon_survives(self):
+        async def scenario(handle):
+            port = handle.port
+            raw = await _raw_exchange(port, b"NOT A VALID REQUEST\r\n\r\n")
+            assert b"400" in raw.split(b"\r\n", 1)[0]
+            assert b"malformed request line" in raw
+            await _healthy(port)
+
+        run_daemon(scenario, runner=lambda job: JobResult())
+
+    def test_bad_header_line_gets_400(self):
+        async def scenario(handle):
+            port = handle.port
+            raw = await _raw_exchange(
+                port, b"GET /v1/health HTTP/1.1\r\nno-colon-here\r\n\r\n"
+            )
+            assert b"400" in raw.split(b"\r\n", 1)[0]
+            await _healthy(port)
+
+        run_daemon(scenario, runner=lambda job: JobResult())
+
+    def test_oversized_header_block_is_rejected(self):
+        async def scenario(handle):
+            port = handle.port
+            huge = b"GET /v1/health HTTP/1.1\r\n" + (
+                b"X-Filler: " + b"a" * 1000 + b"\r\n"
+            ) * 70
+            # The daemon either answers 400 (head too large) or cuts the
+            # connection at the stream limit; it never buffers it all.
+            try:
+                raw = await _raw_exchange(port, huge + b"\r\n")
+            except ConnectionError:
+                raw = b""
+            if raw:
+                assert b"400" in raw.split(b"\r\n", 1)[0]
+            await _healthy(port)
+
+        run_daemon(scenario, runner=lambda job: JobResult())
+
+
+class TestSlowLoris:
+    def test_stalled_request_head_times_out_with_408(self):
+        async def scenario(handle):
+            port = handle.port
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            # Send a partial head and then... nothing, forever.
+            writer.write(b"GET /v1/health HTTP/1.1\r\nHost: lo")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=10)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+            assert b"408" in raw.split(b"\r\n", 1)[0]
+            assert b"not received within" in raw
+            # One stalled socket did not wedge the accept loop.
+            await _healthy(port)
+
+        run_daemon(
+            scenario, runner=lambda job: JobResult(), request_timeout_s=0.2
+        )
+
+    def test_connection_with_no_bytes_times_out_quietly(self):
+        async def scenario(handle):
+            port = handle.port
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            # A clean close before any bytes is not an error (monitors,
+            # port scanners); the daemon just lets the connection go.
+            raw = await asyncio.wait_for(reader.read(), timeout=10)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+            # 408 on an empty head is acceptable too; either way, healthy.
+            assert raw == b"" or b"408" in raw
+            await _healthy(port)
+
+        run_daemon(
+            scenario, runner=lambda job: JobResult(), request_timeout_s=0.2
+        )
+
+
+class TestClientDisconnect:
+    def test_disconnect_mid_streamed_response(self):
+        # Big enough that write_response takes the streaming path and the
+        # client's abort lands while chunks are still draining.
+        big = b"[" + b",".join(b'"x"' for _ in range(1_000_000)) + b"]\n"
+
+        def runner(job):
+            return JobResult(artifacts={"table1": big})
+
+        async def scenario(handle):
+            port = handle.port
+            _, document = await request_json(
+                port,
+                "POST",
+                "/v1/jobs",
+                {
+                    "kind": "study",
+                    "config": {"seed": 0, "weeks": 16},
+                    "artifacts": ["table1"],
+                },
+            )
+            job_id = document["id"]
+            from tests.test_service import poll_until
+
+            await poll_until(port, job_id, "done")
+
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                f"GET /v1/jobs/{job_id}/artifacts/table1 HTTP/1.1\r\n"
+                "Host: test\r\nContent-Length: 0\r\n\r\n".encode("latin-1")
+            )
+            await writer.drain()
+            await reader.readexactly(1024)  # a taste of the response...
+            writer.transport.abort()  # ...then vanish, RST and all
+
+            # The daemon shrugs off the dead socket and re-serves the
+            # same artifact, complete, to the next client.
+            status, headers, raw = await request_full(
+                port, "GET", f"/v1/jobs/{job_id}/artifacts/table1"
+            )
+            assert status == 200 and raw == big
+            assert headers.get("etag")
+            await _healthy(port)
+
+        run_daemon(scenario, runner=runner)
+
+    def test_disconnect_before_request_costs_nothing(self):
+        async def scenario(handle):
+            port = handle.port
+            for _ in range(5):
+                _, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.transport.abort()
+            await _healthy(port)
+
+        run_daemon(scenario, runner=lambda job: JobResult())
