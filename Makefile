@@ -1,6 +1,6 @@
 # Convenience targets for the DDoScovery reproduction.
 
-.PHONY: install test test-fast conformance ci bench bench-perf bench-serve profile sweep-smoke sweep-stability serve-smoke examples artefacts clean
+.PHONY: install test test-fast conformance conformance-scenarios ci bench bench-perf bench-serve profile sweep-smoke sweep-stability serve-smoke examples artefacts clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,9 +16,14 @@ test-fast:
 # Full-window paper conformance: the CLI report (also written as an
 # artefact) plus the conformance-marked pytest tier and the seed-stability
 # sweep artefact.
-conformance: sweep-stability
+conformance: sweep-stability conformance-scenarios
 	python -m repro.cli conformance --jobs 0 --out benchmarks/results/CONFORMANCE.txt
 	pytest tests/ -m conformance
+
+# Regenerate the sibling-paper scenario-family conformance artefact from
+# the four scenario presets (conformance tier; see docs/SWEEPS.md).
+conformance-scenarios:
+	PYTHONPATH=src python scripts/conformance_scenarios.py
 
 # What CI runs: fast tier, full conformance, and a compile pass.
 ci: test-fast conformance

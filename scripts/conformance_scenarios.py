@@ -1,0 +1,79 @@
+"""Regenerate the scenario-family conformance artefact.
+
+Runs every cell of the four sibling-paper scenario presets
+(``booter-takedown``, ``cloud-observatory``, ``amplification-emergence``,
+``honeypot-convergence``), evaluates each family's paper-anchored check
+suite, and writes the per-cell check lines plus a family summary to
+``benchmarks/results/CONFORMANCE_scenarios.txt``.
+
+The study cache makes re-runs cheap; exit status is non-zero if any
+ERROR-severity scenario check fails, so ``make conformance-scenarios``
+doubles as a gate.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.core.study import Study
+from repro.sweep.presets import preset
+from repro.sweep.spec import expand
+
+SCENARIO_PRESETS = (
+    "booter-takedown",
+    "cloud-observatory",
+    "amplification-emergence",
+    "honeypot-convergence",
+)
+
+#: Check-id prefixes of the scenario suites, for filtering report lines.
+SCENARIO_PREFIXES = ("BT.", "CLD.", "EMG.", "HPC.")
+
+OUT_PATH = Path("benchmarks/results/CONFORMANCE_scenarios.txt")
+
+
+def main() -> int:
+    lines: list[str] = []
+    lines.append("Scenario-family conformance: sibling-paper findings as checks")
+    lines.append("=" * 72)
+    failures = 0
+    for name in SCENARIO_PRESETS:
+        spec = preset(name)
+        cells = expand(spec)
+        lines.append("")
+        lines.append(f"{name}  [{spec.anchor}]  ({len(cells)} cells)")
+        lines.append(f"  {spec.description}")
+        lines.append("-" * 72)
+        for cell in cells:
+            study = Study(cell.config)
+            report = study.conformance()
+            scenario_results = [
+                result
+                for result in report.results
+                if result.check.check_id.startswith(SCENARIO_PREFIXES)
+            ]
+            cell_failures = [
+                result
+                for result in scenario_results
+                if result.status.name == "FAIL"
+            ]
+            failures += len(cell_failures)
+            lines.append(f"  cell {cell.cell_id}  {cell.describe()}")
+            for result in scenario_results:
+                lines.append("    " + result.line())
+        print(lines[-1], file=sys.stderr)
+    lines.append("")
+    lines.append(
+        f"scenario checks: {'OK' if failures == 0 else f'{failures} FAILED'}"
+    )
+    text = "\n".join(lines) + "\n"
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(text, encoding="utf-8")
+    print(text)
+    print(f"wrote {OUT_PATH}", file=sys.stderr)
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,6 +41,56 @@ class Takedown:
         return 1.0 - remaining_dip
 
 
+@dataclass(frozen=True)
+class RebrandTakedown:
+    """A takedown whose seized capacity returns on two channels.
+
+    The Hide & Seek takedown study found seized booters reappearing under
+    new domains within weeks while surviving services absorbed the
+    displaced demand.  Here a ``rebrand_share`` of the removed capacity
+    returns on a delayed linear ramp (the rebrands), and the remainder
+    recovers geometrically (customer migration), so the dip is deepest
+    immediately after the action and closes from both sides.  Fully
+    deterministic — no RNG is consumed, which keeps scenario runs
+    bit-identical across shard plans.
+    """
+
+    day: int
+    capacity_removed: float  # fraction of market capacity seized
+    recovery_days: float  # e-folding time of the organic recovery
+    rebrand_share: float  # fraction of seized capacity returning via rebrands
+    rebrand_delay_days: float  # quiet period before rebrands surface
+    rebrand_ramp_days: float  # ramp length of the rebrand return
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.capacity_removed < 1:
+            raise ValueError("capacity_removed must be in [0, 1)")
+        if self.recovery_days <= 0 or self.rebrand_ramp_days <= 0:
+            raise ValueError("recovery_days and rebrand_ramp_days must be positive")
+        if not 0 <= self.rebrand_share <= 1:
+            raise ValueError("rebrand_share must be in [0, 1]")
+        if self.rebrand_delay_days < 0:
+            raise ValueError("rebrand_delay_days must be >= 0")
+
+    def recovered_fraction(self, day: int) -> float:
+        """Fraction of the seized capacity back in the market on ``day``."""
+        if day < self.day:
+            return 0.0
+        elapsed = day - self.day
+        organic = 1.0 - math.exp(-elapsed / self.recovery_days)
+        ramp = min(
+            1.0,
+            max(0.0, (elapsed - self.rebrand_delay_days) / self.rebrand_ramp_days),
+        )
+        return self.rebrand_share * ramp + (1.0 - self.rebrand_share) * organic
+
+    def multiplier(self, day: int) -> float:
+        """Capacity multiplier contributed by this takedown on ``day``."""
+        if day < self.day:
+            return 1.0
+        return 1.0 - self.capacity_removed * (1.0 - self.recovered_fraction(day))
+
+
 class BooterMarket:
     """Aggregate booter capacity over the study window."""
 

@@ -183,6 +183,23 @@ class _ClassSampler:
         weights = np.asarray([VECTORS[i].weight for i in ids], dtype=np.float64)
         return cls(ids=ids, cumulative=np.cumsum(weights / weights.sum()))
 
+    @classmethod
+    def with_weight_override(
+        cls, kind: VectorKind, overrides: dict[int, float]
+    ) -> "_ClassSampler":
+        """A sampler with some catalogue weights replaced (then renormalised).
+
+        Draw structure is identical to :meth:`for_kind` — same id array,
+        same single uniform per event — so swapping samplers per week
+        perturbs no other RNG stream.
+        """
+        ids = np.asarray(vector_ids(kind), dtype=np.int16)
+        weights = np.asarray(
+            [overrides.get(int(i), VECTORS[i].weight) for i in ids],
+            dtype=np.float64,
+        )
+        return cls(ids=ids, cumulative=np.cumsum(weights / weights.sum()))
+
     def draw(self, rng: np.random.Generator, count: int) -> np.ndarray:
         picks = np.searchsorted(self.cumulative, rng.random(count), side="right")
         return self.ids[np.minimum(picks, len(self.ids) - 1)]
@@ -208,12 +225,14 @@ class GroundTruthGenerator:
         config: GeneratorConfig | None = None,
         rng_factory: RngFactory | None = None,
         day_range: tuple[int, int] | None = None,
+        scenario=None,
     ) -> None:
         self.plan = plan
         self.calendar = calendar
         self.landscape = landscape
         self.campaigns = campaigns
         self.config = config or GeneratorConfig()
+        self.scenario = scenario
         if day_range is None:
             day_range = (0, calendar.n_days)
         start, stop = day_range
@@ -240,7 +259,11 @@ class GroundTruthGenerator:
             dtype=np.int64,
         )
         self._campaign_prefixes: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-        self._hp_probability_lut = self._build_hp_probability_lut()
+        self._hp_probability_lut = self._build_hp_probability_lut(
+            scenario.honeypot_pool if scenario is not None else None
+        )
+        self._emergence = scenario.emergence if scenario is not None else None
+        self._ra_weekly_samplers: dict[int, _ClassSampler] = {}
         self._weekly_noise = self._draw_weekly_noise()
         # Full runs number events contiguously from zero; day-range shards
         # offset by a per-day block so ids never collide across shards.
@@ -266,9 +289,17 @@ class GroundTruthGenerator:
         }
 
     @staticmethod
-    def _build_hp_probability_lut() -> dict[str, np.ndarray]:
-        """Per-platform base selection probability indexed by vector id."""
-        return {
+    def _build_hp_probability_lut(pool=None) -> dict[str, np.ndarray]:
+        """Per-platform base selection probability indexed by vector id.
+
+        A :class:`~repro.scenarios.config.HoneypotPoolScenario` rescales
+        the table: ``placement="uniform"`` drops the per-vector
+        affinities, and ``scale`` treats sensors as independent draws
+        (``p -> 1 - (1 - p) ** scale``).  Only the probabilities change —
+        the per-event draw count is fixed — so the baseline table
+        (``pool=None``) is byte-identical to the pre-scenario one.
+        """
+        lut = {
             platform: np.asarray(
                 [
                     HP_BASE_SELECTION[platform]
@@ -279,6 +310,17 @@ class GroundTruthGenerator:
             )
             for platform in HP_BIT
         }
+        if pool is None:
+            return lut
+        scaled: dict[str, np.ndarray] = {}
+        for platform, probabilities in lut.items():
+            if pool.placement == "uniform":
+                probabilities = np.full_like(
+                    probabilities, HP_BASE_SELECTION[platform]
+                )
+            clipped = np.minimum(1.0, probabilities)
+            scaled[platform] = 1.0 - (1.0 - clipped) ** pool.scale
+        return scaled
 
     # -- per-day synthesis ------------------------------------------------------
 
@@ -436,7 +478,7 @@ class GroundTruthGenerator:
                 mean=np.log(config.ra_pps_median), sigma=config.ra_pps_sigma, size=count
             )
 
-        sampler = self._samplers[attack_class]
+        sampler = self._class_sampler(attack_class, day)
         if campaign is not None and campaign.vector_focus is not None:
             vector = np.full(count, campaign.vector_focus, dtype=np.int16)
         else:
@@ -486,6 +528,34 @@ class GroundTruthGenerator:
             "hp_selected": hp_selected,
             "bias": bias,
         }
+
+    def _class_sampler(self, attack_class: AttackClass, day: int) -> _ClassSampler:
+        """The vector sampler for one class on one day.
+
+        Without an emergence scenario this is the static per-class sampler
+        (the exact object the baseline uses).  With one, reflection draws
+        use a per-week sampler whose emerging-vector weight follows the
+        scenario trajectory — keyed by week only, so any shard plan sees
+        identical CDFs (calendar-prefix consistent by construction).
+        """
+        if (
+            self._emergence is None
+            or attack_class is not AttackClass.REFLECTION_AMPLIFICATION
+        ):
+            return self._samplers[attack_class]
+        week = self.calendar.week_of_day(day)
+        sampler = self._ra_weekly_samplers.get(week)
+        if sampler is None:
+            sampler = _ClassSampler.with_weight_override(
+                VectorKind.REFLECTION,
+                {
+                    self._emergence.vector_catalogue_id: self._emergence.weight_for_week(
+                        week
+                    )
+                },
+            )
+            self._ra_weekly_samplers[week] = sampler
+        return sampler
 
     def _draw_targets(
         self, count: int, campaign: Campaign | None

@@ -814,10 +814,21 @@ def _command_sweep(args: argparse.Namespace) -> int:
     from repro.util.parallel import effective_jobs
 
     if args.action == "list":
+        from repro.core.conformance import all_checks
+        from repro.scenarios.checks import scenario_checks_for
+
+        baseline = len(all_checks())
         for name in preset_names():
             spec = preset(name)
             cells = expand(spec)
-            print(f"{name:24s} {len(cells):3d} cells  {spec.description}")
+            checks = baseline + len(
+                scenario_checks_for(getattr(spec.base, "scenario", None))
+            )
+            anchor = spec.anchor or "-"
+            print(
+                f"{name:24s} {len(cells):3d} cells  {checks:2d} checks  "
+                f"{anchor:16s} {spec.description}"
+            )
         return 0
 
     try:

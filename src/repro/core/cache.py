@@ -115,11 +115,18 @@ def _canonical(value: Any) -> Any:
             "end": value.end.isoformat(),
         }
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Fields tagged ``fingerprint: omit-if-none`` drop out of the
+        # payload while unset, so adding such a field to a config does not
+        # perturb the fingerprints (and goldens) of existing configs.
         return {
             "__type__": type(value).__name__,
             **{
                 field.name: _canonical(getattr(value, field.name))
                 for field in dataclasses.fields(value)
+                if not (
+                    getattr(value, field.name) is None
+                    and field.metadata.get("fingerprint") == "omit-if-none"
+                )
             },
         }
     if isinstance(value, (list, tuple)):

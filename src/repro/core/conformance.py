@@ -307,6 +307,24 @@ def all_checks() -> tuple[Check, ...]:
     return tuple(REGISTRY.values())
 
 
+def default_checks(study: "Study") -> tuple[Check, ...]:
+    """The checks a study is evaluated against by default.
+
+    The baseline registry, plus — when the study config carries a
+    :class:`~repro.scenarios.config.ScenarioConfig` — the conformance
+    suite of each active scenario family.  Scenario suites live in their
+    own registry (:mod:`repro.scenarios.checks`) so a baseline study
+    never evaluates (or even imports) them.
+    """
+    checks = all_checks()
+    scenario = getattr(study.config, "scenario", None)
+    if scenario is not None:
+        from repro.scenarios.checks import scenario_checks_for
+
+        checks = checks + scenario_checks_for(scenario)
+    return checks
+
+
 def evaluate_conformance(
     study: "Study", checks: Iterable[Check] | None = None
 ) -> ConformanceReport:
@@ -319,7 +337,7 @@ def evaluate_conformance(
             study_window=f"{study.calendar.start}..{study.calendar.end}",
             seed=study.config.seed,
         )
-        for check in checks if checks is not None else all_checks():
+        for check in checks if checks is not None else default_checks(study):
             reason = check.applicable(study)
             if reason is not None:
                 report.results.append(

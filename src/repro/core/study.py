@@ -24,8 +24,12 @@ from __future__ import annotations
 import datetime as _dt
 from dataclasses import dataclass, field
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scenarios.config import ScenarioConfig
 
 from repro.attacks.booters import BooterMarket
 from repro.attacks.campaigns import CampaignConfig, CampaignModel
@@ -85,6 +89,12 @@ class StudyConfig:
     netscout_baseline_fraction: float = 0.28
     netscout_reverse_fraction: float = 0.23
     akamai_baseline_fraction: float = 1.0
+    #: optional sibling-paper scenario deltas (:mod:`repro.scenarios`);
+    #: fingerprint-omitted while ``None`` so the baseline study keeps its
+    #: pinned goldens and cache keys.
+    scenario: "ScenarioConfig | None" = field(
+        default=None, metadata={"fingerprint": "omit-if-none"}
+    )
 
 
 # -- result containers ---------------------------------------------------------
@@ -210,11 +220,13 @@ class Study:
     @cached_property
     def landscape(self) -> LandscapeModel:
         """The scenario model."""
-        booters = (
-            BooterMarket.default(self.calendar)
-            if self.config.include_takedowns
-            else BooterMarket.without_takedowns()
-        )
+        scenario = self.config.scenario
+        if scenario is not None and scenario.booter is not None:
+            booters = scenario.booter.market(self.calendar)
+        elif self.config.include_takedowns:
+            booters = BooterMarket.default(self.calendar)
+        else:
+            booters = BooterMarket.without_takedowns()
         return LandscapeModel(
             self.calendar,
             dp_per_day=self.config.dp_per_day,
@@ -238,7 +250,7 @@ class Study:
 
     @cached_property
     def observatories(self) -> ObservatorySet:
-        """The ten configured observatories."""
+        """The configured observatories (ten, plus any scenario additions)."""
         return build_observatories(
             self.plan,
             self._rng_factory,
@@ -246,6 +258,7 @@ class Study:
             aggregate_carpet=self.config.aggregate_carpet,
             calendar=self.calendar,
             paper_outages=self.config.paper_outages,
+            scenario=self.config.scenario,
         )
 
     @cached_property

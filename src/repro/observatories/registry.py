@@ -186,13 +186,18 @@ def build_observatories(
     visibility_noise_sigma: float = 0.55,
     calendar: StudyCalendar | None = None,
     paper_outages: bool = True,
+    scenario=None,
 ) -> ObservatorySet:
     """Instantiate the paper's observatory set against an Internet plan.
 
     ``visibility_noise_sigma`` controls each platform's independent weekly
     coverage fluctuation (0 disables it).  When a ``calendar`` is given and
     ``paper_outages`` is true, ORION and the IXP get the dark windows the
-    paper notes (2019Q3-Q4 and January 2019 respectively).
+    paper notes (2019Q3-Q4 and January 2019 respectively).  A
+    ``scenario`` (:class:`~repro.scenarios.config.ScenarioConfig`) with an
+    active cloud family appends the auto-mitigating cloud provider as an
+    eleventh vantage point; it draws from its own named RNG streams, so
+    the ten baseline platforms are unaffected.
     """
     telescope_config = telescope_config or TelescopeConfig()
 
@@ -248,6 +253,19 @@ def build_observatories(
             plan, rng_factory.stream("observatory/ixp"), noise=noise("ixp")
         ),
     ]
+    if scenario is not None and scenario.cloud is not None:
+        from repro.observatories.cloud import CloudObservatory
+
+        flow_monitors.append(
+            CloudObservatory(
+                plan,
+                rng_factory.stream("observatory/cloud"),
+                policy=scenario.cloud,
+                # A commercial mitigation pipeline: steadier coverage than
+                # the alert-driven industry feeds, akin to honeypot farms.
+                noise=noise("cloud", mean=0.92, sigma=visibility_noise_sigma * 0.7),
+            )
+        )
     observatory_set = ObservatorySet(
         telescopes=telescopes, honeypots=honeypots, flow_monitors=flow_monitors
     )

@@ -1,0 +1,44 @@
+"""Sibling-paper scenario families layered on the baseline study.
+
+Each family perturbs exactly one model surface of the baseline DDoScovery
+study — booter-market supply, observatory membership, RA vector weights,
+or honeypot pool geometry — and ships with a paper-anchored conformance
+suite plus a named sweep preset.  See :mod:`repro.scenarios.config` for
+the model deltas, :mod:`repro.scenarios.checks` for the suites and
+:mod:`repro.scenarios.presets` for the ``ddoscovery sweep run`` entry
+points.
+"""
+
+from repro.scenarios.config import (
+    SCENARIO_FAMILIES,
+    BooterTakedownScenario,
+    CloudObservatoryScenario,
+    EmergenceScenario,
+    HoneypotPoolScenario,
+    ScenarioConfig,
+)
+
+__all__ = [
+    "SCENARIO_FAMILIES",
+    "BooterTakedownScenario",
+    "CloudObservatoryScenario",
+    "EmergenceScenario",
+    "HoneypotPoolScenario",
+    "ScenarioConfig",
+    "scenario_checks_for",
+    "scenario_presets",
+]
+
+
+def scenario_checks_for(scenario):
+    """Lazy re-export of :func:`repro.scenarios.checks.scenario_checks_for`."""
+    from repro.scenarios.checks import scenario_checks_for as _impl
+
+    return _impl(scenario)
+
+
+def scenario_presets():
+    """Lazy re-export of :func:`repro.scenarios.presets.scenario_presets`."""
+    from repro.scenarios.presets import scenario_presets as _impl
+
+    return _impl()

@@ -20,6 +20,12 @@ resume, caching, and ensemble reports for free.
 ``smoke``
     2 seeds x 2 scales on a ~20-week window; small enough for tier-1
     tests and ``make sweep-smoke``.
+
+The sibling-paper scenario families (:mod:`repro.scenarios.presets`)
+register four more — ``booter-takedown``, ``cloud-observatory``,
+``amplification-emergence`` and ``honeypot-convergence`` — each pairing
+a scenario-bearing base config with that family's paper-anchored
+conformance suite.
 """
 
 from __future__ import annotations
@@ -197,12 +203,21 @@ def _smoke() -> ScenarioSpec:
     )
 
 
+def _scenario_preset_factories() -> dict[str, Callable[[], ScenarioSpec]]:
+    # Imported lazily so the sweep layer stays importable even if the
+    # scenarios package is stripped down.
+    from repro.scenarios.presets import scenario_presets
+
+    return scenario_presets()
+
+
 PRESETS: dict[str, Callable[[], ScenarioSpec]] = {
     "seed-robustness": _seed_robustness,
     "scale-ladder": _scale_ladder,
     "ablation-carpet": _ablation_carpet,
     "ablation-interventions": _ablation_interventions,
     "smoke": _smoke,
+    **_scenario_preset_factories(),
 }
 
 

@@ -114,6 +114,11 @@ class ScenarioSpec:
     axes: tuple[Axis, ...] = ()
     mode: str = "grid"
     description: str = ""
+    #: Source-paper anchor the spec reproduces (e.g. ``"Hide&Seek §5"``).
+    #: Presentation-only, like ``description``: excluded from
+    #: :func:`spec_fingerprint`, so annotating a spec never invalidates
+    #: its sweep ledger.
+    anchor: str = ""
 
     def __post_init__(self) -> None:
         if self.mode not in ("grid", "zip"):

@@ -140,11 +140,15 @@ def build_models(config: "StudyConfig") -> SimulationModels:
     """Build the simulation substrate exactly as :class:`Study` does."""
     plan_config = config.plan or PlanConfig(seed=config.seed)
     plan = build_internet_plan(plan_config)
-    booters = (
-        BooterMarket.default(config.calendar)
-        if config.include_takedowns
-        else BooterMarket.without_takedowns()
-    )
+    scenario = config.scenario
+    if scenario is not None and scenario.booter is not None:
+        # Scenario takedowns replace the market wholesale (the baseline's
+        # two historical events belong to the baseline narrative).
+        booters = scenario.booter.market(config.calendar)
+    elif config.include_takedowns:
+        booters = BooterMarket.default(config.calendar)
+    else:
+        booters = BooterMarket.without_takedowns()
     landscape = LandscapeModel(
         config.calendar,
         dp_per_day=config.dp_per_day,
@@ -188,6 +192,7 @@ def _build_observatories(
         aggregate_carpet=config.aggregate_carpet,
         calendar=config.calendar,
         paper_outages=config.paper_outages,
+        scenario=config.scenario,
     )
 
 
@@ -213,6 +218,7 @@ def run_shard(
         config=config.generator,
         rng_factory=RngFactory(config.seed),
         day_range=(start, stop),
+        scenario=config.scenario,
     )
     observatories = _build_observatories(config, models.plan)
     # Columnar hot path: synthesise the whole day range as one

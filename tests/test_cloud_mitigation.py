@@ -1,0 +1,104 @@
+"""Property tests for the cloud observatory's auto-mitigation model.
+
+:func:`repro.observatories.cloud.apply_auto_mitigation` is the pure core
+of the cloud vantage point's visibility bias ("One Year of DDoS Attacks
+Against a Cloud Provider"): mitigation can only *remove* information —
+truncate durations, hide short attacks — never add it, and the bias it
+induces moves monotonically with the auto-mitigation threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observatories.cloud import apply_auto_mitigation
+from repro.scenarios import CloudObservatoryScenario
+
+_SETTINGS = dict(max_examples=50, deadline=None, derandomize=True)
+
+
+@st.composite
+def attack_batches(draw):
+    n = draw(st.integers(min_value=1, max_value=200))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**16)))
+    duration = rng.uniform(1.0, 20_000.0, size=n)
+    bps = 10.0 ** rng.uniform(5.0, 12.0, size=n)
+    mitigation_draw = rng.random(n)
+    return duration, bps, mitigation_draw
+
+
+def policy(
+    threshold_bps: float = 5e8,
+    mitigation_probability: float = 0.9,
+    time_to_mitigate_s: float = 300.0,
+) -> CloudObservatoryScenario:
+    return CloudObservatoryScenario(
+        auto_mitigation_threshold_bps=threshold_bps,
+        mitigation_probability=mitigation_probability,
+        time_to_mitigate_s=time_to_mitigate_s,
+    )
+
+
+@given(batch=attack_batches())
+@settings(**_SETTINGS)
+def test_mitigation_never_increases_duration_or_count(batch):
+    duration, bps, draws = batch
+    pol = policy()
+    mitigated, observed, visible = apply_auto_mitigation(
+        duration, bps, draws, pol
+    )
+    # Durations are only ever truncated...
+    assert np.all(observed <= duration)
+    assert np.all(observed[mitigated] <= pol.time_to_mitigate_s)
+    # ...and untouched where no mitigation fired.
+    assert np.array_equal(observed[~mitigated], duration[~mitigated])
+    # The observed-attack count never exceeds what the detection window
+    # alone would pass.
+    assert int(visible.sum()) <= int((duration >= pol.detection_window_s).sum())
+
+
+@given(batch=attack_batches())
+@settings(**_SETTINGS)
+def test_bias_is_monotone_in_the_threshold(batch):
+    duration, bps, draws = batch
+    thresholds = (1e6, 1e8, 5e8, 1e10, 1e13)
+    previous_mitigated = None
+    previous_observed = None
+    for threshold in thresholds:
+        mitigated, observed, visible = apply_auto_mitigation(
+            duration, bps, draws, policy(threshold_bps=threshold)
+        )
+        if previous_mitigated is not None:
+            # Raising the threshold can only shrink the mitigated set
+            # (subset, not merely a smaller count)...
+            assert np.all(previous_mitigated | ~mitigated)
+            # ...so every observed duration rises or stays put, and with
+            # it the visible count.
+            assert np.all(observed >= previous_observed)
+            assert int(visible.sum()) >= int(previous_visible.sum())
+        previous_mitigated = mitigated
+        previous_observed = observed
+        previous_visible = visible
+
+
+@given(
+    batch=attack_batches(),
+    time_to_mitigate=st.floats(min_value=10.0, max_value=2_000.0),
+)
+@settings(**_SETTINGS)
+def test_short_mitigation_windows_can_hide_attacks_entirely(
+    batch, time_to_mitigate
+):
+    """When mitigation completes inside the detection window the attack
+    vanishes from the feed — the paper's short-attack blind spot."""
+    duration, bps, draws = batch
+    pol = policy(threshold_bps=1e6, time_to_mitigate_s=time_to_mitigate)
+    mitigated, observed, visible = apply_auto_mitigation(
+        duration, bps, draws, pol
+    )
+    hidden = mitigated & (observed < pol.detection_window_s)
+    assert not np.any(visible & hidden)
+    if time_to_mitigate < pol.detection_window_s:
+        assert np.all(~visible[mitigated])

@@ -1,0 +1,64 @@
+"""Per-scenario conformance suites over the shipped presets.
+
+Conformance tier (minutes, not seconds): every cell of the four
+sibling-paper scenario presets must reproduce its family's qualitative
+findings — at least three paper-anchored checks per family, all passing.
+Registry shape (check counts, anchors, no collisions with the baseline
+27 ids) is asserted in the tier-1 tests (``tests/test_scenarios.py``);
+this module runs the actual studies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.study import Study
+from repro.sweep.presets import preset
+from repro.sweep.spec import expand
+
+pytestmark = pytest.mark.conformance
+
+#: preset name -> its family's check-id prefix.
+PRESET_FAMILIES = {
+    "booter-takedown": "BT.",
+    "cloud-observatory": "CLD.",
+    "amplification-emergence": "EMG.",
+    "honeypot-convergence": "HPC.",
+}
+
+
+def _cells():
+    for name, prefix in PRESET_FAMILIES.items():
+        for cell in expand(preset(name)):
+            yield pytest.param(
+                cell, prefix, id=f"{name}:{cell.describe().replace(' ', ',')}"
+            )
+
+
+@pytest.mark.parametrize("cell, prefix", _cells())
+def test_every_preset_cell_passes_its_family_suite(cell, prefix):
+    study = Study(cell.config)
+    report = study.conformance()
+    family = [
+        result
+        for result in report.results
+        if result.check.check_id.startswith(prefix)
+    ]
+    # ≥3 paper-anchored checks per family, none skipped, all passing.
+    assert len(family) >= 3
+    assert all(result.check.anchor for result in family)
+    failed = [result.line() for result in family if result.status.name != "PASS"]
+    assert not failed, "\n".join(failed)
+
+
+def test_scenario_checks_do_not_disturb_the_baseline_registry():
+    """A scenario study still evaluates all 27 baseline checks, and a
+    baseline study never sees a scenario check."""
+    from repro.core.conformance import all_checks, default_checks
+
+    cell = expand(preset("cloud-observatory"))[0]
+    study = Study(cell.config)
+    baseline_ids = {check.check_id for check in all_checks()}
+    combined_ids = {check.check_id for check in default_checks(study)}
+    assert baseline_ids < combined_ids
+    assert len(baseline_ids) == 27

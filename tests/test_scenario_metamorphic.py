@@ -1,0 +1,156 @@
+"""Metamorphic properties of the sibling-paper scenario families.
+
+Every scenario family must inherit the simulation's determinism
+contract: scenario deltas only reshape *probabilities* (vector weights,
+selection LUTs, booter capacity) or add observatories with their own
+named RNG streams, so
+
+* serial, sharded, and cache-warm runs of a scenario config stay
+  bit-for-bit identical (jobs invariance survives the scenario hooks);
+* a shorter calendar remains an exact prefix of a longer run
+  (emergence weights and takedown days are functions of the absolute
+  day, never of the window length).
+
+Windows are whole multiples of 4 weeks so shard plans align (28-day
+shards), matching ``tests/test_metamorphic.py``; tiny rates keep the
+module inside the tier-1 time budget.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.study import Study, StudyConfig
+from repro.net.plan import PlanConfig
+from repro.scenarios import (
+    BooterTakedownScenario,
+    CloudObservatoryScenario,
+    EmergenceScenario,
+    HoneypotPoolScenario,
+    ScenarioConfig,
+)
+from repro.util.calendar import StudyCalendar
+from repro.util.parallel import simulate
+from tests.test_parallel import _assert_identical, _column_names
+
+_SETTINGS = dict(
+    max_examples=2,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,  # tier-1 must not be flaky; CI reruns are identical
+)
+
+seeds = st.integers(min_value=0, max_value=2**16)
+
+#: One tiny scenario per family, with every window knob scaled down so an
+#: 8-week calendar contains the whole arc (takedown at week 2, emergence
+#: peak at week 4, ...).
+FAMILY_SCENARIOS = {
+    "booter": ScenarioConfig(
+        booter=BooterTakedownScenario(
+            takedown_week=2,
+            recovery_weeks=2.0,
+            rebrand_delay_weeks=1.0,
+            rebrand_ramp_weeks=1.0,
+        )
+    ),
+    "cloud": ScenarioConfig(cloud=CloudObservatoryScenario()),
+    "emergence": ScenarioConfig(
+        emergence=EmergenceScenario(rise_week=2, peak_week=4, decay_week=6)
+    ),
+    "honeypot_pool": ScenarioConfig(
+        honeypot_pool=HoneypotPoolScenario(scale=2.0, placement="uniform")
+    ),
+}
+
+
+def scenario_config(seed: int, weeks: int, scenario: ScenarioConfig) -> StudyConfig:
+    start = dt.date(2019, 1, 1)
+    return StudyConfig(
+        seed=seed,
+        calendar=StudyCalendar(start, start + dt.timedelta(days=weeks * 7)),
+        dp_per_day=12.0,
+        ra_per_day=9.0,
+        plan=PlanConfig(seed=seed, tail_as_count=60),
+        scenario=scenario,
+    )
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_SCENARIOS))
+@given(seed=seeds)
+@settings(**_SETTINGS)
+def test_serial_parallel_and_cache_warm_runs_are_identical(
+    family: str, seed: int, tmp_path_factory
+) -> None:
+    config = scenario_config(seed, 8, FAMILY_SCENARIOS[family])
+    serial = simulate(config, jobs=1)
+    sharded = simulate(config, jobs=2)
+    _assert_identical(serial, sharded)
+
+    cache_dir = tmp_path_factory.mktemp(f"scenario-cache-{family}")
+    cold = Study(config, cache=True, cache_dir=str(cache_dir))
+    warm = Study(config, cache=True, cache_dir=str(cache_dir))
+    _assert_identical(
+        (cold.observations, cold._ground_truth_weekly),
+        (warm.observations, warm._ground_truth_weekly),
+    )
+    _assert_identical((warm.observations, warm._ground_truth_weekly), serial)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_SCENARIOS))
+@given(seed=seeds)
+@settings(**_SETTINGS)
+def test_shorter_calendar_is_a_prefix_of_the_longer_run(
+    family: str, seed: int
+) -> None:
+    scenario = FAMILY_SCENARIOS[family]
+    short = scenario_config(seed, 8, scenario)
+    long = scenario_config(seed, 12, scenario)
+    sinks_short, truth_short = simulate(short, jobs=1)
+    sinks_long, truth_long = simulate(long, jobs=1)
+    cutoff_days = short.calendar.n_days
+    assert sorted(sinks_short) == sorted(sinks_long)
+    for name in sinks_short:
+        obs_short, obs_long = sinks_short[name], sinks_long[name]
+        keep = int(np.searchsorted(obs_long.day, cutoff_days, side="left"))
+        assert len(obs_short) == keep, name
+        for column in _column_names():
+            left = getattr(obs_short, column)
+            right = getattr(obs_long, column)[:keep]
+            assert np.array_equal(
+                left, right, equal_nan=left.dtype.kind == "f"
+            ), (name, column)
+    n_weeks = short.calendar.n_weeks
+    for attack_class, weekly in truth_short.items():
+        assert np.array_equal(weekly, truth_long[attack_class][:n_weeks])
+
+
+def test_cloud_family_adds_the_eleventh_sink_and_baseline_is_unchanged():
+    """The cloud observatory rides its own RNG streams: adding it must not
+    move a single byte of the ten baseline feeds."""
+    base = scenario_config(5, 8, FAMILY_SCENARIOS["cloud"])
+    without = StudyConfig(
+        seed=base.seed,
+        calendar=base.calendar,
+        dp_per_day=base.dp_per_day,
+        ra_per_day=base.ra_per_day,
+        plan=base.plan,
+    )
+    sinks_with, truth_with = simulate(base, jobs=1)
+    sinks_without, truth_without = simulate(without, jobs=1)
+    assert set(sinks_with) - set(sinks_without) == {"Cloud"}
+    assert len(sinks_with["Cloud"]) > 0
+    for name in sinks_without:
+        for column in _column_names():
+            left = getattr(sinks_without[name], column)
+            right = getattr(sinks_with[name], column)
+            assert np.array_equal(
+                left, right, equal_nan=left.dtype.kind == "f"
+            ), (name, column)
+    for attack_class, weekly in truth_without.items():
+        assert np.array_equal(weekly, truth_with[attack_class])

@@ -46,6 +46,21 @@ class TestList:
         assert "smoke" in output
         assert "cells" in output or "4" in output
 
+    def test_lists_anchor_and_check_counts(self, capsys):
+        assert main(["sweep", "list"]) == 0
+        output = capsys.readouterr().out
+        lines = {line.split()[0]: line for line in output.splitlines() if line}
+        # Scenario presets carry their sibling-paper anchor and a larger
+        # check count (baseline 27 plus the family suite).
+        assert "Hide&Seek" in lines["booter-takedown"]
+        assert "31 checks" in lines["booter-takedown"]
+        assert "Cloud1Y" in lines["cloud-observatory"]
+        assert "NeverDies" in lines["amplification-emergence"]
+        assert "AmpPot" in lines["honeypot-convergence"]
+        # Baseline presets show the registry count and a placeholder anchor.
+        assert "27 checks" in lines["smoke"]
+        assert " - " in lines["smoke"]
+
 
 class TestRun:
     def test_run_prints_stability_report(self, smoke_sweep, capsys):
