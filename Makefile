@@ -1,6 +1,6 @@
 # Convenience targets for the DDoScovery reproduction.
 
-.PHONY: install test test-fast conformance conformance-scenarios ci bench bench-perf bench-serve profile sweep-smoke sweep-stability serve-smoke examples artefacts clean
+.PHONY: install test test-fast conformance conformance-scenarios ci bench bench-perf bench-serve profile sweep-smoke sweep-stability serve-smoke whatif-smoke examples artefacts clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -25,8 +25,9 @@ conformance: sweep-stability conformance-scenarios
 conformance-scenarios:
 	PYTHONPATH=src python scripts/conformance_scenarios.py
 
-# What CI runs: fast tier, full conformance, and a compile pass.
-ci: test-fast conformance
+# What CI runs: fast tier, full conformance, the counterfactual smoke,
+# and a compile pass.
+ci: test-fast conformance whatif-smoke
 	python -m compileall -q src
 
 bench:
@@ -56,6 +57,13 @@ sweep-smoke:
 sweep-stability:
 	PYTHONPATH=src python -m repro.cli sweep run --preset seed-robustness --jobs 0 --resume
 	PYTHONPATH=src python -m repro.cli sweep report --preset seed-robustness --out benchmarks/results/SWEEP_seed_stability.txt
+
+# The sav-adoption paired what-if on the pinned seed0-small window:
+# asserts the zero-delta fingerprint guarantee and that the baseline leg
+# is a cache hit of the pinned golden study, then writes
+# benchmarks/results/WHATIF_sav.txt (see docs/COUNTERFACTUALS.md).
+whatif-smoke:
+	PYTHONPATH=src python scripts/whatif_smoke.py
 
 # Boot the service daemon on an ephemeral port, run a seed0-small study
 # job end-to-end over HTTP, diff the fetched artifact against the batch

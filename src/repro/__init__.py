@@ -34,11 +34,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ARTIFACTS",
+    "InterventionSpec",
     "ScenarioSpec",
     "Study",
     "StudyConfig",
+    "WhatifPairing",
     "run_study",
     "run_sweep",
+    "run_whatif",
+    "whatif_preset",
     "StudyCalendar",
     "STUDY_CALENDAR",
     "artifact_json_bytes",
@@ -53,9 +57,13 @@ _LAZY_EXPORTS = {
     "run_study": ("repro.core.study", "run_study"),
     "StudyCalendar": ("repro.util.calendar", "StudyCalendar"),
     "STUDY_CALENDAR": ("repro.util.calendar", "STUDY_CALENDAR"),
-    # The stable facade: sweeps and the artifact registry.
+    # The stable facade: sweeps, counterfactuals, the artifact registry.
     "ScenarioSpec": ("repro.sweep.spec", "ScenarioSpec"),
     "run_sweep": ("repro.sweep.scheduler", "run_sweep"),
+    "InterventionSpec": ("repro.counterfactual.spec", "InterventionSpec"),
+    "WhatifPairing": ("repro.counterfactual.engine", "WhatifPairing"),
+    "run_whatif": ("repro.counterfactual.engine", "run_whatif"),
+    "whatif_preset": ("repro.counterfactual.presets", "whatif_preset"),
     "ARTIFACTS": ("repro.core.artifacts", "ARTIFACTS"),
     "artifact_json_bytes": ("repro.core.artifacts", "artifact_json_bytes"),
     "artifact_names": ("repro.core.artifacts", "artifact_names"),

@@ -21,7 +21,16 @@ Subcommands:
     Declarative scenario ensembles (``repro.sweep``): ``run`` executes a
     named preset cell-by-cell with a resumable on-disk ledger, ``status``
     shows ledger progress, ``report`` renders the ensemble stability
-    report, ``list`` names the presets — see ``docs/SWEEPS.md``.
+    report, ``list`` names the presets (``--json`` for the canonical
+    JSON form) — see ``docs/SWEEPS.md``.
+``ddoscovery whatif``
+    Paired counterfactual studies (``repro.counterfactual``): ``run``
+    executes a baseline/counterfactual pairing under common random
+    numbers through the sweep ledger and prints the per-observatory
+    detection report (first-detection week, effect size, trend-symbol
+    flips), ``report`` reduces an existing ledger without simulating,
+    ``list`` names the intervention presets — see
+    ``docs/COUNTERFACTUALS.md``.
 ``ddoscovery profile``
     Run the pipeline under the span tracer and print the hottest phases
     (sorted by self time).
@@ -65,6 +74,10 @@ Examples::
     ddoscovery conformance --pinned seed0-small --update-goldens
     ddoscovery sweep run --preset seed-robustness --jobs 4 --resume
     ddoscovery sweep report --preset seed-robustness --out stability.txt
+    ddoscovery sweep list --json
+    ddoscovery whatif list
+    ddoscovery whatif run --preset sav-adoption --jobs 4 --resume
+    ddoscovery whatif report --preset sav-adoption --json
     ddoscovery profile --weeks 52 --top 15
     ddoscovery artifact list
     ddoscovery artifact get fig2_trends table2 --preset seed0-small
@@ -334,7 +347,101 @@ def _build_parser() -> argparse.ArgumentParser:
         "(e.g. benchmarks/results/SWEEP_seed_stability.txt)",
     )
 
-    sweep_actions.add_parser("list", help="list the available presets")
+    sweep_list = sweep_actions.add_parser("list", help="list the available presets")
+    sweep_list.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the listing as canonical JSON (same encoder as "
+        "'ddoscovery artifact get' and the service daemon)",
+    )
+
+    whatif = commands.add_parser(
+        "whatif",
+        help="paired counterfactual studies under common random numbers",
+    )
+    whatif_actions = whatif.add_subparsers(dest="action", required=True)
+
+    def _whatif_parent() -> argparse.ArgumentParser:
+        parent = argparse.ArgumentParser(
+            add_help=False,
+            parents=[
+                _cache_parent(
+                    no_cache=False,
+                    cache_dir_help="cache root; the pairing ledger lives under "
+                    "<root>/sweeps (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+                )
+            ],
+        )
+        parent.add_argument(
+            "--preset",
+            required=True,
+            metavar="NAME",
+            help="named intervention preset (see 'ddoscovery whatif list')",
+        )
+        parent.add_argument(
+            "--strength",
+            type=float,
+            default=1.0,
+            help="intervention strength: 0 = identical legs, 1 = the full "
+            "preset (default 1)",
+        )
+        return parent
+
+    whatif_run = whatif_actions.add_parser(
+        "run",
+        help="execute (or resume) both legs and print the detection report",
+        parents=[
+            _whatif_parent(),
+            _jobs_parent(1, "per cell; results are identical for any value"),
+            _cache_parent(cache_dir=False),
+            _obs_parent(),
+        ],
+    )
+    whatif_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed cells from the pairing ledger (an interrupted "
+        "run continues exactly where it stopped)",
+    )
+    whatif_run.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write the detection report to a file "
+        "(e.g. benchmarks/results/WHATIF_sav.txt)",
+    )
+    whatif_run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the canonical JSON detection document instead of the table",
+    )
+
+    whatif_report = whatif_actions.add_parser(
+        "report",
+        help="reduce the pairing ledger to the detection report "
+        "(never simulates)",
+        parents=[_whatif_parent()],
+    )
+    whatif_report.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write the detection report to a file",
+    )
+    whatif_report.add_argument(
+        "--json",
+        action="store_true",
+        help="print the canonical JSON detection document instead of the table",
+    )
+
+    whatif_list = whatif_actions.add_parser(
+        "list", help="list the intervention presets"
+    )
+    whatif_list.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the listing as canonical JSON",
+    )
 
     profile = commands.add_parser(
         "profile",
@@ -818,16 +925,42 @@ def _command_sweep(args: argparse.Namespace) -> int:
         from repro.scenarios.checks import scenario_checks_for
 
         baseline = len(all_checks())
+        listing = []
         for name in preset_names():
             spec = preset(name)
             cells = expand(spec)
             checks = baseline + len(
                 scenario_checks_for(getattr(spec.base, "scenario", None))
             )
-            anchor = spec.anchor or "-"
+            listing.append(
+                {
+                    "name": name,
+                    "n_cells": len(cells),
+                    "n_checks": checks,
+                    "anchor": spec.anchor,
+                    "description": spec.description,
+                }
+            )
+        if getattr(args, "json", False):
+            from repro.core.artifacts import artifact_json_bytes
+            from repro.sweep.spec import SWEEP_SCHEMA_VERSION
+
+            sys.stdout.buffer.write(
+                artifact_json_bytes(
+                    {
+                        "kind": "sweep-presets",
+                        "schema_version": SWEEP_SCHEMA_VERSION,
+                        "presets": listing,
+                    }
+                )
+            )
+            return 0
+        for entry in listing:
+            anchor = entry["anchor"] or "-"
             print(
-                f"{name:24s} {len(cells):3d} cells  {checks:2d} checks  "
-                f"{anchor:16s} {spec.description}"
+                f"{entry['name']:24s} {entry['n_cells']:3d} cells  "
+                f"{entry['n_checks']:2d} checks  "
+                f"{anchor:16s} {entry['description']}"
             )
         return 0
 
@@ -902,6 +1035,124 @@ def _command_sweep(args: argparse.Namespace) -> int:
             code = body()
         manifest = obs.build_manifest(
             "sweep",
+            config=spec.base,
+            registry=registry,
+            tracer=tracer,
+            sweep=sweep_provenance(spec),
+        )
+    if getattr(args, "metrics", False):
+        print(obs.render_metrics(registry.summary()), file=sys.stderr)
+    if trace_path is not None:
+        obs.write_manifest(trace_path, manifest)
+        print(f"wrote {trace_path}", file=sys.stderr)
+    return code
+
+
+def _command_whatif(args: argparse.Namespace) -> int:
+    from repro.core.artifacts import artifact_json_bytes
+    from repro.counterfactual import (
+        WHATIF_PRESETS,
+        build_detection_report,
+        preset_names,
+        run_whatif,
+        whatif_preset,
+    )
+    from repro.sweep.scheduler import sweep_provenance
+    from repro.sweep.spec import expand
+    from repro.util.parallel import effective_jobs
+
+    if args.action == "list":
+        listing = []
+        for name in preset_names():
+            entry = WHATIF_PRESETS[name]()
+            pairing = entry.pairing()
+            listing.append(
+                {
+                    "name": name,
+                    "title": entry.intervention.title,
+                    "anchor": entry.intervention.anchor,
+                    "description": entry.intervention.description,
+                    "seeds": list(entry.seeds),
+                    "n_cells": len(expand(pairing.spec())),
+                    "n_ops": len(entry.intervention.ops),
+                }
+            )
+        if getattr(args, "json", False):
+            sys.stdout.buffer.write(
+                artifact_json_bytes(
+                    {"kind": "whatif-presets", "presets": listing}
+                )
+            )
+            return 0
+        for entry in listing:
+            print(
+                f"{entry['name']:24s} {entry['n_cells']:3d} cells  "
+                f"{entry['n_ops']:2d} ops  seeds {entry['seeds']}  "
+                f"{entry['anchor']:28s} {entry['title']}"
+            )
+        return 0
+
+    try:
+        pairing = whatif_preset(args.preset, args.strength)
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error))
+
+    def emit_report(report) -> None:
+        if getattr(args, "json", False):
+            sys.stdout.buffer.write(artifact_json_bytes(report.to_document()))
+        else:
+            print(report.render())
+        if getattr(args, "out", None) is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            if getattr(args, "json", False):
+                args.out.write_bytes(
+                    artifact_json_bytes(report.to_document())
+                )
+            else:
+                args.out.write_text(report.render() + "\n", encoding="utf-8")
+            print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.action == "report":
+        try:
+            report = build_detection_report(pairing, sweep_dir=args.cache_dir)
+        except ValueError as error:
+            raise SystemExit(str(error))
+        emit_report(report)
+        return 0
+
+    # action == "run"
+    workers = effective_jobs(args.jobs, None)
+    spec = pairing.spec()
+
+    def body() -> int:
+        outcome = run_whatif(
+            pairing,
+            jobs=args.jobs,
+            resume=args.resume,
+            cache=False if args.no_cache else None,
+            cache_dir=args.cache_dir,
+            log=lambda message: print(message, file=sys.stderr),
+        )
+        print(
+            f"whatif {outcome.sweep_id}: "
+            f"{len(outcome.sweep.executed)} cells simulated, "
+            f"{len(outcome.sweep.ledger_hits)} ledger hits (jobs {workers})",
+            file=sys.stderr,
+        )
+        if outcome.report is None:
+            print("stopped before any seed completed both legs", file=sys.stderr)
+            return 1
+        emit_report(outcome.report)
+        return 0
+
+    # Same manifest convention as sweep run: the run-level manifest
+    # carries the pairing's sweep id with a null cell index.
+    trace_path = getattr(args, "trace", None)
+    with obs.collecting() as registry, obs.tracing() as tracer:
+        with obs.span("cli.whatif"):
+            code = body()
+        manifest = obs.build_manifest(
+            "whatif",
             config=spec.base,
             registry=registry,
             tracer=tracer,
@@ -1092,6 +1343,7 @@ _COMMANDS = {
     "cache": _command_cache,
     "conformance": _command_conformance,
     "sweep": _command_sweep,
+    "whatif": _command_whatif,
     "profile": _command_profile,
     "artifact": _command_artifact,
     "serve": _command_serve,

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.observatories.tuning import ObservatoryTuning
     from repro.scenarios.config import ScenarioConfig
 
 from repro.attacks.booters import BooterMarket
@@ -93,6 +94,12 @@ class StudyConfig:
     #: fingerprint-omitted while ``None`` so the baseline study keeps its
     #: pinned goldens and cache keys.
     scenario: "ScenarioConfig | None" = field(
+        default=None, metadata={"fingerprint": "omit-if-none"}
+    )
+    #: optional observatory tuning deltas for counterfactual runs
+    #: (:mod:`repro.counterfactual`); fingerprint-omitted while ``None``
+    #: for the same reason as ``scenario``.
+    tuning: "ObservatoryTuning | None" = field(
         default=None, metadata={"fingerprint": "omit-if-none"}
     )
 
@@ -259,6 +266,7 @@ class Study:
             calendar=self.calendar,
             paper_outages=self.config.paper_outages,
             scenario=self.config.scenario,
+            tuning=self.config.tuning,
         )
 
     @cached_property

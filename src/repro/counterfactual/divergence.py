@@ -1,0 +1,157 @@
+"""Per-observatory divergence detection between paired study legs.
+
+Pure numerics — no I/O, no Study, no RNG — so the Hypothesis property
+tests can drive it directly.  The inputs are weekly attack-count series
+per seed for the baseline and counterfactual legs of a common-random-
+numbers pairing; because both legs share day-keyed RNG streams, every
+week's difference is attributable to the intervention, and the only
+noise left is *cross-seed* variation of the baseline itself.
+
+The detector per observatory:
+
+* ``scale``     — ``max(1.0, mean(baseline))``; normalises effects so
+  high-volume vantage points (Netscout, thousands of attacks per week)
+  and single-sensor honeypots (NewKid, counts near zero) are judged on
+  the same relative footing.
+* ``effect[w]`` — mean over seeds of ``counterfactual − baseline`` at
+  week ``w``, divided by ``scale``.
+* ``band[w]``   — ``max(band_floor, k_sigma · std_over_seeds(baseline[w])
+  / scale)``: the seed-ensemble noise band, from the baseline leg only
+  so it cannot shrink (or grow) with intervention strength.
+* detected at ``w`` iff ``|effect[w]| > band[w]`` (strictly) — the floor
+  keeps the band positive even for a single seed, so a zero-delta
+  pairing (effect identically 0) is *never* detected at any seed count.
+
+With the band fixed by the baseline and the effect linear in the
+config deltas, a stronger intervention can only widen the set of
+detected weeks — which is why ``first_detection_week`` is non-increasing
+in strength (the second Hypothesis property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+#: Default detection threshold: effect must leave a 3-sigma seed band.
+DEFAULT_K_SIGMA = 3.0
+
+#: Default minimum half-width of the noise band, in scale-relative
+#: units.  Keeps the band strictly positive with one seed (std 0) and
+#: absorbs sub-5% wobble that no analyst would call a regime change.
+DEFAULT_BAND_FLOOR = 0.05
+
+
+@dataclass(frozen=True)
+class DivergenceSeries:
+    """One observatory's weekly divergence verdict."""
+
+    label: str
+    #: scale-relative mean effect per week (counterfactual − baseline).
+    effect: tuple[float, ...]
+    #: seed-noise band half-width per week (strictly positive).
+    band: tuple[float, ...]
+    #: weeks where ``|effect| > band``.
+    weeks_detected: tuple[int, ...]
+    #: normalisation divisor (``max(1.0, baseline mean)``).
+    scale: float
+
+    @property
+    def first_detection_week(self) -> int | None:
+        """First week the effect leaves the noise band, or ``None``."""
+        return self.weeks_detected[0] if self.weeks_detected else None
+
+    @property
+    def max_abs_effect(self) -> float:
+        """Largest scale-relative weekly effect magnitude."""
+        return max((abs(value) for value in self.effect), default=0.0)
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.weeks_detected)
+
+
+def detect_series(
+    label: str,
+    baseline_by_seed: Sequence[Sequence[float]],
+    counterfactual_by_seed: Sequence[Sequence[float]],
+    *,
+    k_sigma: float = DEFAULT_K_SIGMA,
+    band_floor: float = DEFAULT_BAND_FLOOR,
+) -> DivergenceSeries:
+    """Divergence verdict for one observatory's weekly series.
+
+    ``baseline_by_seed`` and ``counterfactual_by_seed`` are parallel
+    per-seed lists of weekly counts; seed order must match (the pairing
+    guarantees it — both legs come from the same ``seed_axis``).
+    """
+    if not baseline_by_seed or not counterfactual_by_seed:
+        raise ValueError(f"{label}: need at least one seed per leg")
+    if len(baseline_by_seed) != len(counterfactual_by_seed):
+        raise ValueError(
+            f"{label}: unpaired legs "
+            f"({len(baseline_by_seed)} baseline vs "
+            f"{len(counterfactual_by_seed)} counterfactual seeds)"
+        )
+    if not k_sigma > 0 or not band_floor > 0:
+        raise ValueError("k_sigma and band_floor must be positive")
+    baseline = np.asarray(baseline_by_seed, dtype=np.float64)
+    counterfactual = np.asarray(counterfactual_by_seed, dtype=np.float64)
+    if baseline.shape != counterfactual.shape:
+        raise ValueError(
+            f"{label}: leg shapes differ "
+            f"({baseline.shape} vs {counterfactual.shape})"
+        )
+
+    scale = max(1.0, float(baseline.mean()))
+    effect = (counterfactual - baseline).mean(axis=0) / scale
+    band = np.maximum(band_floor, k_sigma * baseline.std(axis=0) / scale)
+    detected = np.flatnonzero(np.abs(effect) > band)
+    return DivergenceSeries(
+        label=label,
+        effect=tuple(float(value) for value in effect),
+        band=tuple(float(value) for value in band),
+        weeks_detected=tuple(int(week) for week in detected),
+        scale=scale,
+    )
+
+
+def detect(
+    baseline_by_seed: Mapping[int, Mapping[str, Sequence[float]]],
+    counterfactual_by_seed: Mapping[int, Mapping[str, Sequence[float]]],
+    *,
+    k_sigma: float = DEFAULT_K_SIGMA,
+    band_floor: float = DEFAULT_BAND_FLOOR,
+) -> dict[str, DivergenceSeries]:
+    """Divergence verdicts for every observatory label, seed-paired.
+
+    Inputs map ``seed -> {series label -> weekly counts}`` (the shape
+    :class:`~repro.sweep.report.CellResult.main_weekly` stores).  Only
+    seeds present in *both* legs are compared; labels must agree across
+    the paired seeds.
+    """
+    seeds = sorted(set(baseline_by_seed) & set(counterfactual_by_seed))
+    if not seeds:
+        raise ValueError("no seed has both a baseline and a counterfactual leg")
+    labels = list(baseline_by_seed[seeds[0]])
+    for seed in seeds:
+        for leg_name, leg in (
+            ("baseline", baseline_by_seed),
+            ("counterfactual", counterfactual_by_seed),
+        ):
+            if list(leg[seed]) != labels:
+                raise ValueError(
+                    f"seed {seed} {leg_name} leg has mismatched series labels"
+                )
+    return {
+        label: detect_series(
+            label,
+            [baseline_by_seed[seed][label] for seed in seeds],
+            [counterfactual_by_seed[seed][label] for seed in seeds],
+            k_sigma=k_sigma,
+            band_floor=band_floor,
+        )
+        for label in labels
+    }

@@ -1,0 +1,247 @@
+"""The DetectionReport: which vantage point would notice, and when.
+
+This is the counterfactual engine's artefact.  It reduces the paired
+ledger (per-seed baseline and counterfactual :class:`~repro.sweep.report.
+CellResult` s) to a per-observatory verdict — first-detection week (or
+"never"), effect magnitude, and whether the Table-1 trend symbol flips —
+answering the question the sibling assessments disagree on in the paper:
+*would this platform's published trend have changed under the
+intervention, and how quickly would its own feed show it?*
+
+The report is a versioned JSON document with a mini schema
+(:data:`DETECTION_REPORT_SCHEMA`) and a canonical byte form via
+:func:`repro.core.artifacts.artifact_json_bytes`, so CLI, library, and
+HTTP callers all hand out identical bytes for the same ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.render import format_table
+from repro.counterfactual.divergence import DivergenceSeries
+from repro.counterfactual.spec import WHATIF_SCHEMA_VERSION
+
+#: Mini JSON schema (``repro.obs.validate_manifest`` dialect) for the
+#: serialized detection report.
+DETECTION_REPORT_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "kind",
+        "schema_version",
+        "intervention",
+        "sweep_id",
+        "spec_fingerprint",
+        "seeds",
+        "window",
+        "n_weeks",
+        "complete",
+        "observatories",
+    ],
+    "additionalProperties": False,
+    "properties": {
+        "kind": {"type": "string"},
+        "schema_version": {"type": "integer"},
+        "intervention": {"type": "object"},
+        "sweep_id": {"type": "string"},
+        "spec_fingerprint": {"type": "string"},
+        "baseline_fingerprints": {
+            "type": "object",
+            "additionalProperties": {"type": "string"},
+        },
+        "seeds": {"type": "array", "items": {"type": "integer"}},
+        "window": {"type": "string"},
+        "n_weeks": {"type": "integer"},
+        "complete": {"type": "boolean"},
+        "observatories": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": [
+                    "label",
+                    "first_detection_week",
+                    "max_abs_effect",
+                    "n_weeks_detected",
+                    "baseline_symbol",
+                    "counterfactual_symbol",
+                    "flipped",
+                ],
+                "additionalProperties": False,
+                "properties": {
+                    "label": {"type": "string"},
+                    "first_detection_week": {"type": ["integer", "null"]},
+                    "max_abs_effect": {"type": "number"},
+                    "n_weeks_detected": {"type": "integer"},
+                    "weeks_detected": {
+                        "type": "array",
+                        "items": {"type": "integer"},
+                    },
+                    "baseline_symbol": {"type": "string"},
+                    "counterfactual_symbol": {"type": "string"},
+                    "flipped": {"type": "boolean"},
+                },
+            },
+        },
+    },
+}
+
+
+def _modal(symbols: list[str]) -> str:
+    """Modal symbol with the same deterministic tie-break the sweep
+    report uses (count, then lexical)."""
+    counts: dict[str, int] = {}
+    for symbol in symbols:
+        counts[symbol] = counts.get(symbol, 0) + 1
+    return max(counts, key=lambda s: (counts[s], s)) if counts else "?"
+
+
+@dataclass(frozen=True)
+class ObservatoryVerdict:
+    """One vantage point's answer: when (if ever) it sees the change."""
+
+    label: str
+    divergence: DivergenceSeries
+    #: modal Table-1 symbol across baseline-leg seeds.
+    baseline_symbol: str
+    #: modal Table-1 symbol across counterfactual-leg seeds.
+    counterfactual_symbol: str
+
+    @property
+    def first_detection_week(self) -> int | None:
+        return self.divergence.first_detection_week
+
+    @property
+    def flipped(self) -> bool:
+        """Did the published trend symbol change under the intervention?"""
+        return self.baseline_symbol != self.counterfactual_symbol
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "first_detection_week": self.first_detection_week,
+            "max_abs_effect": self.divergence.max_abs_effect,
+            "n_weeks_detected": len(self.divergence.weeks_detected),
+            "weeks_detected": list(self.divergence.weeks_detected),
+            "baseline_symbol": self.baseline_symbol,
+            "counterfactual_symbol": self.counterfactual_symbol,
+            "flipped": self.flipped,
+        }
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Divergence verdicts for every observatory of a paired run."""
+
+    #: serialized intervention (name/title/anchor/ops/strength).
+    intervention: dict[str, Any]
+    sweep_id: str
+    spec_fingerprint: str
+    #: seed -> baseline-leg config fingerprint (the CRN anchor: a plain
+    #: study at that seed hits the same cache entry).
+    baseline_fingerprints: dict[int, str]
+    seeds: tuple[int, ...]
+    window: str
+    n_weeks: int
+    #: ``False`` while some pairing cells are still missing from the
+    #: ledger (stopped mid-run); verdicts then cover the paired subset.
+    complete: bool
+    verdicts: tuple[ObservatoryVerdict, ...]
+
+    # -- reductions --------------------------------------------------------------
+
+    def detected(self) -> list[ObservatoryVerdict]:
+        """Verdicts whose effect left the noise band, earliest first."""
+        hits = [v for v in self.verdicts if v.first_detection_week is not None]
+        return sorted(hits, key=lambda v: (v.first_detection_week, v.label))
+
+    def flips(self) -> list[ObservatoryVerdict]:
+        """Verdicts whose Table-1 trend symbol changed."""
+        return [v for v in self.verdicts if v.flipped]
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_document(self) -> dict[str, Any]:
+        """The canonical JSON document (see :data:`DETECTION_REPORT_SCHEMA`).
+
+        Serialise with :func:`repro.core.artifacts.artifact_json_bytes`
+        for the byte-identical CLI/library/HTTP form.
+        """
+        return {
+            "kind": "whatif-detection",
+            "schema_version": WHATIF_SCHEMA_VERSION,
+            "intervention": dict(self.intervention),
+            "sweep_id": self.sweep_id,
+            "spec_fingerprint": self.spec_fingerprint,
+            "baseline_fingerprints": {
+                str(seed): fingerprint
+                for seed, fingerprint in sorted(self.baseline_fingerprints.items())
+            },
+            "seeds": list(self.seeds),
+            "window": self.window,
+            "n_weeks": self.n_weeks,
+            "complete": self.complete,
+            "observatories": [v.to_dict() for v in self.verdicts],
+        }
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render(self) -> str:
+        """Human-readable verdict table, sweep-artefact style."""
+        lines = [
+            f"whatif detection report: {self.intervention.get('name', '?')}",
+            f"  intervention  {self.intervention.get('title', '?')}",
+            f"  anchor        {self.intervention.get('anchor', '-')}",
+            f"  strength      {self.intervention.get('strength', 1.0):g}",
+            f"  sweep id      {self.sweep_id}",
+            f"  seeds         {', '.join(str(s) for s in self.seeds)}",
+            f"  window        {self.window}  ({self.n_weeks} weeks)"
+            + ("" if self.complete else "  (PARTIAL)"),
+            "",
+        ]
+        rows = []
+        for verdict in self.verdicts:
+            week = verdict.first_detection_week
+            rows.append(
+                [
+                    verdict.label,
+                    "never" if week is None else f"week {week}",
+                    f"{verdict.divergence.max_abs_effect:.3f}",
+                    f"{len(verdict.divergence.weeks_detected)}/{self.n_weeks}",
+                    f"{verdict.baseline_symbol} -> {verdict.counterfactual_symbol}"
+                    + ("  FLIP" if verdict.flipped else ""),
+                ]
+            )
+        lines.append(
+            format_table(
+                ["observatory", "first detection", "max |effect|", "weeks out", "trend symbol"],
+                rows,
+            )
+        )
+        lines.append("")
+        detected = self.detected()
+        if detected:
+            first = detected[0]
+            lines.append(
+                f"earliest detection: {first.label} at week "
+                f"{first.first_detection_week} "
+                f"({len(detected)}/{len(self.verdicts)} observatories detect)"
+            )
+        else:
+            lines.append("no observatory detects the intervention in-window")
+        flips = self.flips()
+        if flips:
+            lines.append(
+                "trend-symbol flips: "
+                + ", ".join(f"{v.label}" for v in flips)
+            )
+        else:
+            lines.append("trend-symbol flips: none")
+        return "\n".join(lines)
+
+
+def validate_detection_report(document: Any) -> list[str]:
+    """Validate a serialized detection report against its mini schema."""
+    from repro.obs import validate_manifest
+
+    return validate_manifest(document, DETECTION_REPORT_SCHEMA)

@@ -187,6 +187,7 @@ def build_observatories(
     calendar: StudyCalendar | None = None,
     paper_outages: bool = True,
     scenario=None,
+    tuning=None,
 ) -> ObservatorySet:
     """Instantiate the paper's observatory set against an Internet plan.
 
@@ -197,9 +198,29 @@ def build_observatories(
     ``scenario`` (:class:`~repro.scenarios.config.ScenarioConfig`) with an
     active cloud family appends the auto-mitigating cloud provider as an
     eleventh vantage point; it draws from its own named RNG streams, so
-    the ten baseline platforms are unaffected.
+    the ten baseline platforms are unaffected.  A ``tuning``
+    (:class:`~repro.observatories.tuning.ObservatoryTuning`) scales the
+    flow-monitor thresholds off their paper defaults — the counterfactual
+    engine's "blackholing aggressiveness" and "severity floor" knobs; a
+    neutral (or absent) tuning builds the exact baseline constructors.
     """
     telescope_config = telescope_config or TelescopeConfig()
+
+    # Tuning scales the paper-default constructor values; None and the
+    # neutral tuning produce identical observatories (same kwargs).
+    netscout_kwargs: dict = {}
+    ixp_kwargs: dict = {}
+    if tuning is not None:
+        netscout_kwargs = {
+            "severity_floor_bps": 20e6 * tuning.netscout_severity_floor_scale,
+        }
+        ixp_kwargs = {
+            "ra_threshold_bps": 1e9 * tuning.ixp_ra_threshold_scale,
+            "dp_threshold_bps": 100e6 * tuning.ixp_dp_threshold_scale,
+            "blackhole_probability": min(
+                1.0, 0.55 * tuning.ixp_blackhole_probability_scale
+            ),
+        }
 
     def noise(key: str, mean: float = 0.8, sigma: float | None = None) -> VisibilityNoise | None:
         if visibility_noise_sigma <= 0:
@@ -244,13 +265,19 @@ def build_observatories(
     ]
     flow_monitors: list[Observatory] = [
         NetscoutAtlas(
-            plan, rng_factory.stream("observatory/netscout"), noise=noise("netscout")
+            plan,
+            rng_factory.stream("observatory/netscout"),
+            noise=noise("netscout"),
+            **netscout_kwargs,
         ),
         AkamaiProlexic(
             plan, rng_factory.stream("observatory/akamai"), noise=noise("akamai")
         ),
         IxpBlackholing(
-            plan, rng_factory.stream("observatory/ixp"), noise=noise("ixp")
+            plan,
+            rng_factory.stream("observatory/ixp"),
+            noise=noise("ixp"),
+            **ixp_kwargs,
         ),
     ]
     if scenario is not None and scenario.cloud is not None:

@@ -103,7 +103,21 @@ class Job:
         self.submitted_s = time.time()
         self.started_s: float | None = None
         self.finished_s: float | None = None
+        #: incremental status published by long-running bodies (the
+        #: whatif runner: cells completed, current divergence summary);
+        #: ``None`` until the body first reports.
+        self.progress: dict[str, Any] | None = None
         self._cancel = threading.Event()
+
+    # -- incremental status --------------------------------------------------------
+
+    def set_progress(self, payload: dict[str, Any]) -> None:
+        """Publish an incremental status dict (shown in the job document).
+
+        Assignment is atomic under the GIL, so the HTTP handler can read
+        ``progress`` from the event loop while the body thread writes it.
+        """
+        self.progress = dict(payload)
 
     # -- cancellation ------------------------------------------------------------
 
@@ -139,6 +153,8 @@ class Job:
             "error": self.error,
             "payload": self.payload,
         }
+        if self.progress is not None:
+            document["progress"] = self.progress
         if self.result is not None:
             document["artifacts"] = sorted(self.result.artifacts)
             document["summary"] = self.result.summary

@@ -41,6 +41,7 @@ twin.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import shutil
 import tempfile
@@ -50,7 +51,7 @@ from typing import Any
 
 from repro.service.jobs import Job, JobCancelled, JobResult
 
-KINDS = ("study", "sweep", "conformance")
+KINDS = ("study", "sweep", "conformance", "whatif")
 
 EXECUTION_MODES = ("thread", "process")
 
@@ -179,6 +180,34 @@ def parse_submission(body: Any) -> tuple[str, str, dict[str, Any]]:
         }
         return kind, f"sweep:{fingerprint}:resume={resume}", payload
 
+    if kind == "whatif":
+        from repro.counterfactual import whatif_preset
+
+        name = body.get("preset")
+        if not isinstance(name, str):
+            raise ValueError("whatif submissions need a preset name")
+        strength = body.get("strength", 1.0)
+        if isinstance(strength, bool) or not isinstance(strength, (int, float)):
+            raise ValueError("strength must be a number")
+        if strength < 0:
+            raise ValueError("strength must be >= 0")
+        resume = body.get("resume", True)
+        if not isinstance(resume, bool):
+            raise ValueError("resume must be a boolean")
+        try:
+            pairing = whatif_preset(name, float(strength))
+        except KeyError as error:
+            raise ValueError(str(error.args[0])) from None
+        fingerprint = pairing.fingerprint()
+        payload = {
+            "kind": kind,
+            "preset": name,
+            "strength": float(strength),
+            "resume": resume,
+            "spec_fingerprint": fingerprint,
+        }
+        return kind, f"whatif:{fingerprint}:resume={resume}", payload
+
     # conformance
     config = study_config_from_payload(body.get("config", {}))
     goldens = body.get("goldens", True)
@@ -275,6 +304,50 @@ def run_sweep_job(job: Job, settings: ServiceSettings) -> JobResult:
     )
 
 
+def run_whatif_job(job: Job, settings: ServiceSettings) -> JobResult:
+    """Run (or resume) a counterfactual pairing with incremental status.
+
+    The long-running job kind: every settled cell publishes a progress
+    dict (cells completed, executed vs ledger hits, the running
+    divergence summary) via ``job.set_progress`` — visible in the job
+    document while the pairing is still simulating.  Cancellation stops
+    at the next cell edge with the pairing ledger resumable.
+    """
+    from repro.core.artifacts import artifact_json_bytes
+    from repro.counterfactual import run_whatif, whatif_preset
+
+    pairing = whatif_preset(job.payload["preset"], job.payload["strength"])
+    outcome = run_whatif(
+        pairing,
+        jobs=settings.jobs,
+        resume=job.payload["resume"],
+        cache=settings.cache,
+        cache_dir=settings.cache_dir,
+        should_stop=lambda: job.cancel_requested,
+        on_progress=job.set_progress,
+    )
+    # A stop honoured mid-pairing leaves the ledger resumable; surface
+    # the job as cancelled rather than pretending the pairing completed.
+    job.raise_if_cancelled()
+    report = outcome.report
+    if report is None:
+        raise RuntimeError(
+            "pairing stopped before any seed completed both legs"
+        )
+    return JobResult(
+        artifacts={"detection": artifact_json_bytes(report.to_document())},
+        summary={
+            "sweep_id": outcome.sweep_id,
+            "executed": len(outcome.sweep.executed),
+            "ledger_hits": len(outcome.sweep.ledger_hits),
+            "stopped": outcome.stopped,
+            "complete": report.complete,
+            "n_detected": len(report.detected()),
+            "n_flips": len(report.flips()),
+        },
+    )
+
+
 def run_conformance_job(job: Job, settings: ServiceSettings) -> JobResult:
     """Evaluate paper conformance (and goldens, for pinned configs)."""
     from repro.core.artifacts import artifact_json_bytes
@@ -327,6 +400,7 @@ _BODIES = {
     "study": run_study_job,
     "sweep": run_sweep_job,
     "conformance": run_conformance_job,
+    "whatif": run_whatif_job,
 }
 
 
@@ -349,6 +423,10 @@ class ProcessJob:
     kind: str
     payload: dict[str, Any]
     cancel_path: str | None = None
+    #: where incremental progress goes (``set_progress`` writes JSON
+    #: here atomically; the daemon-side poll loop relays it to the real
+    #: job).  ``None`` disables progress publication.
+    progress_path: str | None = None
 
     @property
     def cancel_requested(self) -> bool:
@@ -358,6 +436,15 @@ class ProcessJob:
         if self.cancel_requested:
             raise JobCancelled(self.id)
 
+    def set_progress(self, payload: dict[str, Any]) -> None:
+        """Publish progress across the process boundary (atomic write)."""
+        if not self.progress_path:
+            return
+        tmp = self.progress_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, self.progress_path)
+
 
 def _execute_job_body(
     job_id: str,
@@ -365,6 +452,7 @@ def _execute_job_body(
     payload: dict[str, Any],
     settings: ServiceSettings,
     cancel_path: str | None,
+    progress_path: str | None = None,
 ) -> tuple[JobResult, dict, dict]:
     """Warm-pool entry point: run one job body in this worker process.
 
@@ -376,7 +464,11 @@ def _execute_job_body(
     from repro import obs
 
     proxy = ProcessJob(
-        id=job_id, kind=kind, payload=payload, cancel_path=cancel_path
+        id=job_id,
+        kind=kind,
+        payload=payload,
+        cancel_path=cancel_path,
+        progress_path=progress_path,
     )
     with obs.collecting() as registry, obs.tracing() as tracer:
         with obs.span(f"service.body[{kind}]"):
@@ -403,6 +495,18 @@ def _run_job_in_pool(job: Job, settings: ServiceSettings) -> JobResult:
 
     cancel_dir = tempfile.mkdtemp(prefix="repro-job-cancel-")
     cancel_path = os.path.join(cancel_dir, job.id)
+    progress_path = os.path.join(cancel_dir, job.id + ".progress")
+
+    def relay_progress() -> None:
+        # Relay the body's incremental status (whatif jobs); os.replace
+        # makes the file appear atomically, so a read never sees a torn
+        # document.
+        try:
+            with open(progress_path, encoding="utf-8") as handle:
+                job.set_progress(json.load(handle))
+        except (OSError, ValueError):
+            pass
+
     try:
         try:
             future = parallel.pool_submit(
@@ -412,6 +516,7 @@ def _run_job_in_pool(job: Job, settings: ServiceSettings) -> JobResult:
                 job.payload,
                 settings,
                 cancel_path,
+                progress_path,
                 workers=settings.pool_workers,
             )
             while True:
@@ -423,6 +528,7 @@ def _run_job_in_pool(job: Job, settings: ServiceSettings) -> JobResult:
                 except FutureTimeout:
                     if job.cancel_requested and not os.path.exists(cancel_path):
                         Path(cancel_path).touch()
+                    relay_progress()
         except BrokenProcessPool:
             parallel.shutdown_pool()
             parallel.warm_pool(settings.pool_workers)
@@ -431,6 +537,10 @@ def _run_job_in_pool(job: Job, settings: ServiceSettings) -> JobResult:
                 "job worker process died unexpectedly (pool re-warmed)"
             ) from None
     finally:
+        # One last read on every exit path: a fast job (all ledger hits)
+        # can finish before the poll loop's first iteration, and the
+        # final payload must land on the completed job either way.
+        relay_progress()
         shutil.rmtree(cancel_dir, ignore_errors=True)
     obs.absorb(snapshot, tree)
     return result

@@ -76,9 +76,13 @@ class CellResult:
     conformance_ok: bool
     #: headline scalars: upset shares, all-four share, RA/DP crossing
     headline: dict[str, Any]
+    #: per main-series label: raw weekly attack counts — what the
+    #: counterfactual divergence detector compares across paired legs.
+    #: Optional for backward compatibility with pre-existing ledgers.
+    main_weekly: dict[str, list[float]] | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "index": self.index,
             "cell_id": self.cell_id,
             "labels": dict(self.labels),
@@ -93,6 +97,9 @@ class CellResult:
             "conformance_ok": self.conformance_ok,
             "headline": self.headline,
         }
+        if self.main_weekly is not None:
+            payload["main_weekly"] = self.main_weekly
+        return payload
 
     @staticmethod
     def from_dict(payload: dict[str, Any]) -> "CellResult":
@@ -110,6 +117,7 @@ class CellResult:
             conformance=payload["conformance"],
             conformance_ok=bool(payload["conformance_ok"]),
             headline=payload["headline"],
+            main_weekly=payload.get("main_weekly"),
         )
 
     def describe(self) -> str:
@@ -126,6 +134,7 @@ def extract_cell(study: "Study", cell: "SweepCell") -> CellResult:
         series = study.main_series()
         trends: dict[str, dict[str, Any]] = {}
         year_means: dict[str, list[float]] = {}
+        main_weekly: dict[str, list[float]] = {}
         for label, weekly in series.items():
             classification = classify_trend(weekly.normalized)
             trends[label] = {
@@ -134,6 +143,7 @@ def extract_cell(study: "Study", cell: "SweepCell") -> CellResult:
                 "slope_per_year": float(weekly.trend_line().slope_per_year),
             }
             year_means[label] = year_chunk_means(weekly.normalized)
+            main_weekly[label] = [float(count) for count in weekly.counts]
 
         matrix = study.artifact_result("fig6_correlation").normalized
         correlation: dict[str, float] = {}
@@ -166,6 +176,7 @@ def extract_cell(study: "Study", cell: "SweepCell") -> CellResult:
             conformance=conformance_report.statuses(),
             conformance_ok=bool(conformance_report.ok),
             headline=headline,
+            main_weekly=main_weekly,
         )
 
 

@@ -100,6 +100,7 @@ def run_sweep(
     sweep_dir: str | Path | None = None,
     write_manifests: bool = True,
     should_stop: Callable[[], bool] | None = None,
+    on_cell: Callable[[SweepCell, str], None] | None = None,
     log: Log = _silent,
 ) -> SweepOutcome:
     """Run (or resume) a sweep to completion and aggregate it.
@@ -117,6 +118,12 @@ def run_sweep(
     the run after the in-flight cell with ``outcome.stopped`` set and
     the ledger consistent — completed cells are never lost, and a later
     ``resume=True`` run continues exactly where this one stopped.
+
+    ``on_cell`` is called after every settled cell with the cell and
+    how it settled (``"executed"`` or ``"ledger-hit"``) — the seam
+    long-running callers (the counterfactual engine, the service's
+    incremental job status) use to publish progress.  Hook failures
+    propagate: a caller's progress callback is part of the run.
     """
     cells = expand(spec)
     ledger = SweepLedger(spec, root=sweep_dir if sweep_dir is not None else cache_dir)
@@ -155,6 +162,8 @@ def run_sweep(
                     outcome.ledger_hits.append(cell.index)
                     obs.counter("sweep.cells.ledger_hits").inc()
                     log(f"cell {cell.index} [{cell.describe()}]: ledger hit")
+                    if on_cell is not None:
+                        on_cell(cell, "ledger-hit")
                     continue
             started = time.perf_counter()
             with obs.collecting() as registry, obs.tracing() as tracer:
@@ -189,6 +198,8 @@ def run_sweep(
                 f"cell {cell.index} [{cell.describe()}]: "
                 f"simulated in {elapsed:.1f}s"
             )
+            if on_cell is not None:
+                on_cell(cell, "executed")
     outcome.report = load_report(spec, sweep_dir=sweep_dir if sweep_dir is not None else cache_dir)
     return outcome
 

@@ -193,6 +193,7 @@ def _build_observatories(
         calendar=config.calendar,
         paper_outages=config.paper_outages,
         scenario=config.scenario,
+        tuning=config.tuning,
     )
 
 

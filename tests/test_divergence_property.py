@@ -1,0 +1,147 @@
+"""Hypothesis properties of the counterfactual divergence detector.
+
+The two properties the tentpole promises (both pinned here against the
+*pure* detector, no simulation):
+
+1. **Zero-delta never detects** — when the counterfactual leg is
+   byte-identical to the baseline (the structural guarantee of a
+   zero-strength intervention under common random numbers), no
+   observatory is detected at any seed count, any series shape, any
+   band parameters.
+2. **Monotone strength ⇒ non-increasing first-detection week** — the
+   CRN effect is (to first order) linear in the intervention strength
+   while the noise band comes from the baseline leg only, so scaling
+   the effect up can only grow the set of detected weeks; the first
+   detection can only move earlier or stay put.
+
+Also pinned: the band is strictly positive even for a single seed, and
+the detector rejects unpaired legs loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counterfactual.divergence import detect, detect_series
+
+#: Weekly counts: non-negative, attack-count-ish magnitudes.
+_counts = st.floats(min_value=0.0, max_value=5e4, allow_nan=False)
+
+
+@st.composite
+def _ensembles(draw, min_seeds=1, max_seeds=4):
+    """Per-seed weekly series, rectangular (same weeks for all seeds)."""
+    n_weeks = draw(st.integers(min_value=1, max_value=30))
+    n_seeds = draw(st.integers(min_value=min_seeds, max_value=max_seeds))
+    return [
+        draw(
+            st.lists(_counts, min_size=n_weeks, max_size=n_weeks)
+        )
+        for _ in range(n_seeds)
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    baseline=_ensembles(),
+    k_sigma=st.floats(min_value=0.5, max_value=6.0, allow_nan=False),
+    band_floor=st.floats(min_value=1e-3, max_value=0.5, allow_nan=False),
+)
+def test_zero_delta_never_detects(baseline, k_sigma, band_floor):
+    """Identical legs ⇒ zero effect everywhere ⇒ never detected."""
+    verdict = detect_series(
+        "any",
+        baseline,
+        [list(series) for series in baseline],
+        k_sigma=k_sigma,
+        band_floor=band_floor,
+    )
+    assert verdict.first_detection_week is None
+    assert verdict.weeks_detected == ()
+    assert verdict.max_abs_effect == 0.0
+    # The floored band is strictly positive even with one seed.
+    assert all(half_width > 0 for half_width in verdict.band)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    baseline=_ensembles(),
+    delta=_ensembles(max_seeds=1),
+    strengths=st.lists(
+        st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+        min_size=2,
+        max_size=5,
+    ),
+)
+def test_monotone_strength_first_detection_non_increasing(
+    baseline, delta, strengths
+):
+    """Scaling the per-week effect up never delays first detection.
+
+    The counterfactual leg is ``baseline + strength * delta`` with a
+    shared delta across seeds — the linear-response shape a CRN pairing
+    produces — so the detector's band (baseline-only) is constant in
+    strength while |effect| grows pointwise.
+    """
+    n_weeks = len(baseline[0])
+    shared_delta = (delta[0] * n_weeks)[:n_weeks]  # pad/trim to shape
+    previous_week = None
+    for strength in sorted(strengths):
+        counterfactual = [
+            [
+                week_value + strength * week_delta
+                for week_value, week_delta in zip(series, shared_delta)
+            ]
+            for series in baseline
+        ]
+        verdict = detect_series("any", baseline, counterfactual)
+        week = verdict.first_detection_week
+        if previous_week is not None:
+            # Once a weaker run detects at W, every stronger run must
+            # detect no later than W.
+            assert week is not None
+            assert week <= previous_week
+        if week is not None:
+            previous_week = week
+
+
+@settings(max_examples=40, deadline=None)
+@given(baseline=_ensembles(min_seeds=2))
+def test_detected_weeks_grow_pointwise_with_strength(baseline):
+    """The detected-week *set* is monotone, not just its minimum."""
+    n_weeks = len(baseline[0])
+    shared_delta = [float(1 + week) for week in range(n_weeks)]
+    weaker = [
+        [value + 0.5 * d for value, d in zip(series, shared_delta)]
+        for series in baseline
+    ]
+    stronger = [
+        [value + 2.0 * d for value, d in zip(series, shared_delta)]
+        for series in baseline
+    ]
+    weak_weeks = set(detect_series("any", baseline, weaker).weeks_detected)
+    strong_weeks = set(detect_series("any", baseline, stronger).weeks_detected)
+    assert weak_weeks <= strong_weeks
+
+
+def test_detect_requires_paired_seeds():
+    with pytest.raises(ValueError, match="unpaired"):
+        detect_series("x", [[1.0, 2.0]], [[1.0, 2.0], [1.0, 2.0]])
+    with pytest.raises(ValueError, match="no seed"):
+        detect({0: {"a": [1.0]}}, {1: {"a": [1.0]}})
+
+
+def test_detect_requires_matching_labels():
+    with pytest.raises(ValueError, match="mismatched series labels"):
+        detect({0: {"a": [1.0]}}, {0: {"b": [1.0]}})
+
+
+def test_detect_maps_every_label():
+    baseline = {0: {"a": [10.0, 10.0], "b": [5.0, 5.0]}}
+    counterfactual = {0: {"a": [10.0, 10.0], "b": [50.0, 5.0]}}
+    series = detect(baseline, counterfactual)
+    assert set(series) == {"a", "b"}
+    assert series["a"].first_detection_week is None
+    assert series["b"].first_detection_week == 0

@@ -482,3 +482,164 @@ class TestByteIdentity:
         from repro import obs
 
         assert obs.validate_manifest(manifest, schema) == []
+
+
+class TestWhatifJobs:
+    """The long-running job kind: incremental progress + byte identity."""
+
+    @pytest.fixture()
+    def tiny_whatif(self, monkeypatch):
+        """A fast 2-cell pairing injected into the preset registry
+        (thread execution shares the patched module globals)."""
+        import datetime as dt
+
+        from repro.core.study import StudyConfig
+        from repro.counterfactual import (
+            InterventionSpec,
+            WhatifPreset,
+            scale_op,
+        )
+        from repro.counterfactual.presets import WHATIF_PRESETS
+        from repro.net.plan import PlanConfig
+        from repro.util.calendar import StudyCalendar
+
+        def base():
+            start = dt.date(2019, 1, 1)
+            return StudyConfig(
+                seed=0,
+                calendar=StudyCalendar(start, start + dt.timedelta(days=16 * 7)),
+                dp_per_day=12.0,
+                ra_per_day=9.0,
+                plan=PlanConfig(seed=0, tail_as_count=60),
+            )
+
+        intervention = InterventionSpec(
+            name="tiny-service-floor",
+            title="Netscout floor tripled (service test)",
+            anchor="paper §5",
+            description="test-size severity floor shift",
+            ops=(scale_op("tuning.netscout_severity_floor_scale", 3.0),),
+        )
+        monkeypatch.setitem(
+            WHATIF_PRESETS,
+            "tiny-service-floor",
+            lambda: WhatifPreset(intervention=intervention, base=base, seeds=(0,)),
+        )
+        return {"kind": "whatif", "preset": "tiny-service-floor"}
+
+    def test_parse_submission_normalises_whatif(self, tiny_whatif):
+        kind, key, payload = parse_submission(
+            {**tiny_whatif, "strength": 1, "resume": False}
+        )
+        assert kind == "whatif"
+        assert key.startswith("whatif:") and key.endswith(":resume=False")
+        assert payload["strength"] == 1.0
+        assert isinstance(payload["strength"], float)
+        assert payload["spec_fingerprint"] in key
+
+    def test_parse_submission_rejects_bad_whatif(self, tiny_whatif):
+        with pytest.raises(ValueError, match="unknown whatif preset"):
+            parse_submission({"kind": "whatif", "preset": "nope"})
+        with pytest.raises(ValueError, match="need a preset"):
+            parse_submission({"kind": "whatif"})
+        with pytest.raises(ValueError, match="strength"):
+            parse_submission({**tiny_whatif, "strength": -1})
+        with pytest.raises(ValueError, match="strength"):
+            parse_submission({**tiny_whatif, "strength": True})
+        with pytest.raises(ValueError, match="resume must be a boolean"):
+            parse_submission({**tiny_whatif, "resume": "yes"})
+
+    def test_whatif_job_runs_with_incremental_progress(
+        self, tiny_whatif, tmp_path
+    ):
+        async def scenario(handle):
+            port = handle.port
+            status, document = await request_json(
+                port, "POST", "/v1/jobs", tiny_whatif
+            )
+            assert status == 202
+            job_id = document["id"]
+            document = await poll_until(port, job_id, "done", "failed", tries=3000)
+            assert document["status"] == "done", document.get("error")
+
+            # The final job document retains the last progress payload:
+            # every cell accounted for, with a running divergence digest.
+            progress = document["progress"]
+            assert progress["cells_done"] == progress["n_cells"] == 2
+            assert progress["executed"] == 2
+            assert progress["intervention"] == "tiny-service-floor"
+            assert progress["divergence"] is not None
+            assert progress["divergence"]["paired_seeds"] == [0]
+
+            summary = document["summary"]
+            assert summary["complete"] is True
+            assert summary["executed"] == 2
+            assert summary["ledger_hits"] == 0
+
+            status, raw = await request(
+                port, "GET", f"/v1/jobs/{job_id}/artifacts/detection"
+            )
+            assert status == 200
+            scenario.raw = raw
+
+            # A second identical submission coalesces onto the finished
+            # job instead of re-running anything.
+            status, document = await request_json(
+                port, "POST", "/v1/jobs", tiny_whatif
+            )
+            assert status == 200 and document["id"] == job_id
+
+        run_daemon(scenario, cache_dir=str(tmp_path))
+
+        # Byte identity: the HTTP artifact equals the library's
+        # canonical bytes for the same ledger.
+        from repro.core.artifacts import artifact_json_bytes
+        from repro.counterfactual import build_detection_report, whatif_preset
+
+        report = build_detection_report(
+            whatif_preset("tiny-service-floor"), sweep_dir=tmp_path
+        )
+        assert scenario.raw == artifact_json_bytes(report.to_document())
+
+        # The job's ledger is an ordinary pairing ledger: a library
+        # resume against the same cache root replays both cells.
+        from repro.counterfactual import run_whatif
+
+        resumed = run_whatif(
+            whatif_preset("tiny-service-floor"), cache_dir=tmp_path
+        )
+        assert resumed.sweep.executed == []
+        assert resumed.sweep.ledger_hits == [0, 1]
+
+    def test_whatif_cancel_leaves_ledger_resumable(self, tiny_whatif, tmp_path):
+        async def scenario(handle):
+            port = handle.port
+            _, document = await request_json(port, "POST", "/v1/jobs", tiny_whatif)
+            job_id = document["id"]
+            # Cancel as soon as the first cell's progress lands.
+            for _ in range(3000):
+                _, document = await request_json(port, "GET", f"/v1/jobs/{job_id}")
+                if document["status"] in ("done", "failed", "cancelled"):
+                    break
+                if document.get("progress", {}).get("cells_done", 0) >= 1:
+                    await request_json(port, "POST", f"/v1/jobs/{job_id}/cancel")
+                await asyncio.sleep(0.005)
+            document = await poll_until(
+                port, job_id, "done", "cancelled", tries=3000
+            )
+            scenario.final = document["status"]
+
+        run_daemon(scenario, cache_dir=str(tmp_path))
+
+        # Whether the cancel raced completion or landed mid-pairing, the
+        # ledger stays resumable: a library resume finishes the pairing
+        # without recomputing any completed cell.
+        from repro.counterfactual import run_whatif, whatif_preset
+
+        outcome = run_whatif(
+            whatif_preset("tiny-service-floor"), cache_dir=tmp_path
+        )
+        assert outcome.report is not None
+        assert outcome.report.complete
+        if scenario.final == "cancelled":
+            assert outcome.sweep.ledger_hits, "cancel landed but no cell completed"

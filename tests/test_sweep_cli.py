@@ -61,6 +61,21 @@ class TestList:
         assert "27 checks" in lines["smoke"]
         assert " - " in lines["smoke"]
 
+    def test_list_json_uses_the_canonical_encoder(self, capsysbinary):
+        from repro.core.artifacts import artifact_json_bytes
+
+        assert main(["sweep", "list", "--json"]) == 0
+        raw = capsysbinary.readouterr().out
+        document = json.loads(raw)
+        assert document["kind"] == "sweep-presets"
+        by_name = {entry["name"]: entry for entry in document["presets"]}
+        assert by_name["smoke"]["n_checks"] == 27
+        assert by_name["smoke"]["n_cells"] == 4
+        assert "Hide&Seek" in by_name["booter-takedown"]["anchor"]
+        # Canonical bytes: re-encoding the parsed document reproduces
+        # the emission exactly (sorted keys, two-space indent, newline).
+        assert artifact_json_bytes(document) == raw
+
 
 class TestRun:
     def test_run_prints_stability_report(self, smoke_sweep, capsys):

@@ -127,6 +127,69 @@ class TestRunAndResume:
         assert "PARTIAL" in report.render()
 
 
+class TestStopAndResume:
+    """The ``should_stop`` drain contract: a stopped sweep's ledger
+    resumes without re-running any completed cell."""
+
+    def test_stop_then_resume_never_recomputes_completed_cells(self, tmp_path):
+        calls = iter([False, True])
+        stopped = run_sweep(
+            SPEC2,
+            jobs=1,
+            sweep_dir=tmp_path,
+            should_stop=lambda: next(calls),
+        )
+        assert stopped.stopped
+        assert stopped.executed == [0]
+        assert stopped.ledger_hits == []
+        assert not stopped.report.complete
+
+        record_before = SweepLedger(SPEC2, root=tmp_path).read().cells[0]
+
+        resumed = run_sweep(SPEC2, jobs=1, resume=True, sweep_dir=tmp_path)
+        assert not resumed.stopped
+        # The cell completed before the stop replays as a ledger hit —
+        # the stop poll sits before the ledger check, so nothing that
+        # reached the ledger is ever simulated again.
+        assert resumed.ledger_hits == [0]
+        assert resumed.executed == [1]
+        assert resumed.report.complete
+
+        # The pre-stop record survived the resume byte-for-byte, and the
+        # stitched report matches an uninterrupted run exactly.
+        assert SweepLedger(SPEC2, root=tmp_path).read().cells[0] == record_before
+        baseline = run_sweep(SPEC2, jobs=1, sweep_dir=tmp_path / "baseline")
+        assert resumed.report.render() == baseline.report.render()
+        assert resumed.report.cells == baseline.report.cells
+
+    def test_stop_before_first_cell_runs_nothing(self, tmp_path):
+        stopped = run_sweep(
+            SPEC2, jobs=1, sweep_dir=tmp_path, should_stop=lambda: True
+        )
+        assert stopped.stopped
+        assert stopped.executed == []
+        assert stopped.ledger_hits == []
+
+    def test_on_cell_reports_how_each_cell_settled(self, tmp_path):
+        events: list[tuple[int, str]] = []
+        run_sweep(
+            SPEC2,
+            jobs=1,
+            sweep_dir=tmp_path,
+            on_cell=lambda cell, status: events.append((cell.index, status)),
+        )
+        assert events == [(0, "executed"), (1, "executed")]
+
+        events.clear()
+        run_sweep(
+            SPEC2,
+            jobs=1,
+            sweep_dir=tmp_path,
+            on_cell=lambda cell, status: events.append((cell.index, status)),
+        )
+        assert events == [(0, "ledger-hit"), (1, "ledger-hit")]
+
+
 _CHILD = """
 import sys
 
