@@ -1,6 +1,6 @@
 # Convenience targets for the DDoScovery reproduction.
 
-.PHONY: install test test-fast conformance conformance-scenarios ci bench bench-perf bench-serve profile sweep-smoke sweep-stability serve-smoke whatif-smoke examples artefacts clean
+.PHONY: install test test-fast conformance conformance-scenarios ci bench bench-perf bench-serve profile sweep-smoke sweep-stability serve-smoke whatif-smoke dist-smoke examples artefacts clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -26,8 +26,8 @@ conformance-scenarios:
 	PYTHONPATH=src python scripts/conformance_scenarios.py
 
 # What CI runs: fast tier, full conformance, the counterfactual smoke,
-# and a compile pass.
-ci: test-fast conformance whatif-smoke
+# the distributed smoke, and a compile pass.
+ci: test-fast conformance whatif-smoke dist-smoke
 	python -m compileall -q src
 
 bench:
@@ -70,6 +70,13 @@ whatif-smoke:
 # path and the committed goldens, then SIGTERM (see docs/SERVICE.md).
 serve-smoke:
 	PYTHONPATH=src python scripts/serve_smoke.py
+
+# Boot a coordinator plus two worker subprocesses, distribute the
+# seed0-small sweep, require the merged report byte-identical to serial
+# and >= 1.5x wall-clock at 2 workers, then record the timing in
+# benchmarks/results/PERF_dist.txt (see docs/DISTRIBUTED.md).
+dist-smoke:
+	PYTHONPATH=src python scripts/dist_smoke.py
 
 examples:
 	python examples/quickstart.py

@@ -11,7 +11,7 @@ from repro.core.interventions import takedown_effects
 
 
 def test_ext_takedown_effect(benchmark, full_study, report):
-    figure = full_study.figure3()
+    figure = full_study.artifact_result("fig3_trends")
     takedown_weeks = figure.takedown_weeks
     assert len(takedown_weeks) == 2
 

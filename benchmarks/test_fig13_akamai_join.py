@@ -11,10 +11,14 @@ from repro.observatories.registry import ACADEMIC_OBSERVATORIES
 
 
 def test_fig13_akamai_join(benchmark, full_study, report):
-    result = benchmark.pedantic(full_study.figure13, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: full_study.artifact_result("federation_akamai"),
+        rounds=1,
+        iterations=1,
+    )
     report("F13_akamai_join", render_figure13(full_study))
 
-    netscout = full_study.figure9()
+    netscout = full_study.artifact_result("federation")
     # Akamai's baseline is prefix-scoped: its forward confirmation of
     # single-observatory subsets is lower than Netscout's.
     akamai_singles = sum(

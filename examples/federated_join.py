@@ -36,7 +36,7 @@ def main() -> None:
         print(f"  {name:10s} {len(targets):8d}")
     print(f"  union      {len(study.academic_universe):8d}\n")
 
-    result = study.figure9()
+    result = study.artifact_result("federation")
     print(f"Netscout baseline (28% sample of its alerts): "
           f"{result.baseline_size} tuples\n")
 

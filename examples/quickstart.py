@@ -36,7 +36,7 @@ def main() -> None:
               f"slope {slope:+.2f}/yr")
 
     print("\nSpearman correlation, same-type vs cross-type pairs:")
-    figure = study.figure6()
+    figure = study.artifact_result("fig6_correlation")
     matrix = figure.normalized
     same, cross, same_n, cross_n = 0.0, 0.0, 0, 0
     for i, a in enumerate(matrix.labels):
@@ -54,7 +54,7 @@ def main() -> None:
     print(f"  cross attack type: {cross / cross_n:+.2f} average")
 
     print("\ntarget overlap across the four academic observatories:")
-    upset = study.figure7()
+    upset = study.artifact_result("fig7_upset")
     for name in upset.set_names:
         print(f"  {name:10s} {upset.set_sizes[name]:7d} targets "
               f"({format_percent(upset.set_shares[name])} of universe)")

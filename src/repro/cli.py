@@ -161,6 +161,43 @@ def _cache_parent(
     return parent
 
 
+def _execution_parent(
+    jobs_default: int,
+    *,
+    jobs_extra: str = "",
+    execution_default: str = "thread",
+    execution_help: str | None = None,
+    cache_dir_help: str | None = None,
+) -> argparse.ArgumentParser:
+    """The unified execution flag group every runner command shares.
+
+    ``sweep run``, ``whatif run``, ``serve``, and the ``dist``
+    subcommands all take the same six flags — ``--jobs``, ``--trace``,
+    ``--metrics``, ``--no-cache``, ``--cache-dir``, ``--execution`` —
+    from this one parent (pinned by the flag-parity test in
+    ``tests/test_cli_parents.py``), so an operator can move between
+    batch, daemon, and distributed execution without relearning flags.
+    """
+    parent = argparse.ArgumentParser(
+        add_help=False,
+        parents=[
+            _jobs_parent(jobs_default, jobs_extra),
+            _cache_parent(cache_dir_help=cache_dir_help),
+            _obs_parent(),
+        ],
+    )
+    parent.add_argument(
+        "--execution",
+        choices=("process", "thread"),
+        default=execution_default,
+        help=execution_help
+        or "where work executes: 'process' pre-warms the persistent "
+        "multi-process pool, 'thread' runs in-process "
+        f"(default {execution_default})",
+    )
+    return parent
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ddoscovery",
@@ -287,17 +324,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep_actions = sweep.add_subparsers(dest="action", required=True)
 
-    def _sweep_parent() -> argparse.ArgumentParser:
-        parent = argparse.ArgumentParser(
-            add_help=False,
-            parents=[
-                _cache_parent(
-                    no_cache=False,
-                    cache_dir_help="cache root; the sweep ledger lives under "
-                    "<root>/sweeps (default $REPRO_CACHE_DIR or ~/.cache/repro)",
-                )
-            ],
-        )
+    _SWEEP_LEDGER_HELP = (
+        "cache root; the sweep ledger lives under <root>/sweeps "
+        "(default $REPRO_CACHE_DIR or ~/.cache/repro)"
+    )
+
+    def _sweep_preset_parent() -> argparse.ArgumentParser:
+        parent = argparse.ArgumentParser(add_help=False)
         parent.add_argument(
             "--preset",
             required=True,
@@ -306,14 +339,27 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         return parent
 
+    def _sweep_parent() -> argparse.ArgumentParser:
+        return argparse.ArgumentParser(
+            add_help=False,
+            parents=[
+                _cache_parent(
+                    no_cache=False, cache_dir_help=_SWEEP_LEDGER_HELP
+                ),
+                _sweep_preset_parent(),
+            ],
+        )
+
     sweep_run = sweep_actions.add_parser(
         "run",
         help="execute (or resume) every cell of a sweep",
         parents=[
-            _sweep_parent(),
-            _jobs_parent(1, "per cell; cell results are identical for any value"),
-            _cache_parent(cache_dir=False),
-            _obs_parent(),
+            _sweep_preset_parent(),
+            _execution_parent(
+                1,
+                jobs_extra="per cell; cell results are identical for any value",
+                cache_dir_help=_SWEEP_LEDGER_HELP,
+            ),
         ],
     )
     sweep_run.add_argument(
@@ -361,17 +407,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     whatif_actions = whatif.add_subparsers(dest="action", required=True)
 
-    def _whatif_parent() -> argparse.ArgumentParser:
-        parent = argparse.ArgumentParser(
-            add_help=False,
-            parents=[
-                _cache_parent(
-                    no_cache=False,
-                    cache_dir_help="cache root; the pairing ledger lives under "
-                    "<root>/sweeps (default $REPRO_CACHE_DIR or ~/.cache/repro)",
-                )
-            ],
-        )
+    _WHATIF_LEDGER_HELP = (
+        "cache root; the pairing ledger lives under <root>/sweeps "
+        "(default $REPRO_CACHE_DIR or ~/.cache/repro)"
+    )
+
+    def _whatif_preset_parent() -> argparse.ArgumentParser:
+        parent = argparse.ArgumentParser(add_help=False)
         parent.add_argument(
             "--preset",
             required=True,
@@ -387,14 +429,27 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         return parent
 
+    def _whatif_parent() -> argparse.ArgumentParser:
+        return argparse.ArgumentParser(
+            add_help=False,
+            parents=[
+                _cache_parent(
+                    no_cache=False, cache_dir_help=_WHATIF_LEDGER_HELP
+                ),
+                _whatif_preset_parent(),
+            ],
+        )
+
     whatif_run = whatif_actions.add_parser(
         "run",
         help="execute (or resume) both legs and print the detection report",
         parents=[
-            _whatif_parent(),
-            _jobs_parent(1, "per cell; results are identical for any value"),
-            _cache_parent(cache_dir=False),
-            _obs_parent(),
+            _whatif_preset_parent(),
+            _execution_parent(
+                1,
+                jobs_extra="per cell; results are identical for any value",
+                cache_dir_help=_WHATIF_LEDGER_HELP,
+            ),
         ],
     )
     whatif_run.add_argument(
@@ -529,9 +584,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "serve",
         help="run the study service daemon (REST job API)",
         parents=[
-            _jobs_parent(0, "shards per job, not concurrent jobs"),
-            _cache_parent(),
+            _execution_parent(
+                0,
+                jobs_extra="shards per job, not concurrent jobs",
+                execution_default="process",
+                execution_help="where job bodies run: 'process' uses the "
+                "persistent warm pool (default; crash- and GIL-isolated), "
+                "'thread' runs in-daemon",
+            ),
         ],
+    )
+    serve.add_argument(
+        "--role",
+        choices=("standalone", "coordinator", "worker"),
+        default="standalone",
+        help="'standalone' serves jobs locally (default); 'coordinator' "
+        "additionally decomposes sweep/whatif jobs into cell leases for "
+        "dist workers; 'worker' joins a coordinator (needs --coordinator) "
+        "instead of listening",
+    )
+    serve.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="HOST:PORT",
+        help="coordinator address for --role worker "
+        "(e.g. 127.0.0.1:8350)",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="coordinator: cell lease lifetime; an unrenewed lease "
+        "re-queues its cell (default 60)",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="coordinator: evict workers silent this long (default 15)",
     )
     serve.add_argument(
         "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
@@ -570,19 +662,70 @@ def _build_parser() -> argparse.ArgumentParser:
         help="grace period for running jobs on SIGTERM (default 30)",
     )
     serve.add_argument(
-        "--execution",
-        choices=("process", "thread"),
-        default="process",
-        help="where job bodies run: 'process' uses the persistent warm "
-        "pool (default; crash- and GIL-isolated), 'thread' runs in-daemon",
-    )
-    serve.add_argument(
         "--request-timeout",
         type=float,
         default=30.0,
         metavar="SECONDS",
         help="close connections whose request has not fully arrived in "
         "this long (slow-loris guard; default 30)",
+    )
+
+    dist = commands.add_parser(
+        "dist",
+        help="distributed sweep execution: workers and coordinator status",
+    )
+    dist_actions = dist.add_subparsers(dest="action", required=True)
+    dist_worker = dist_actions.add_parser(
+        "worker",
+        help="run one dist worker against a coordinator "
+        "(same as 'serve --role worker')",
+        parents=[
+            _execution_parent(
+                1,
+                jobs_extra="per cell; cell results are identical for any "
+                "value",
+            ),
+        ],
+    )
+    dist_worker.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (e.g. 127.0.0.1:8350)",
+    )
+    dist_worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker name (default: a random worker-XXXXXXXX)",
+    )
+    dist_worker.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="exit after completing this many cells (default: unbounded)",
+    )
+    dist_worker.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this long with no lease granted "
+        "(default: poll forever)",
+    )
+    dist_status = dist_actions.add_parser(
+        "status",
+        help="print a coordinator's workers, tasks, and leases",
+    )
+    dist_status.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (e.g. 127.0.0.1:8350)",
+    )
+    dist_status.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the status document as canonical JSON",
     )
 
     bench = commands.add_parser(
@@ -1010,6 +1153,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
     workers = effective_jobs(args.jobs, None)
 
     def body() -> int:
+        if args.execution == "process" and workers > 1:
+            # Pre-warm the persistent shard pool so the first cell does
+            # not pay process startup; cells reuse the warm workers.
+            from repro.util.parallel import warm_pool
+
+            warm_pool(workers)
         outcome = run_sweep(
             spec,
             jobs=args.jobs,
@@ -1125,6 +1274,10 @@ def _command_whatif(args: argparse.Namespace) -> int:
     spec = pairing.spec()
 
     def body() -> int:
+        if args.execution == "process" and workers > 1:
+            from repro.util.parallel import warm_pool
+
+            warm_pool(workers)
         outcome = run_whatif(
             pairing,
             jobs=args.jobs,
@@ -1289,9 +1442,88 @@ def _command_artifact(args: argparse.Namespace) -> int:
     return _observed_command(args, "artifact", config, body)
 
 
+def _run_dist_worker(args: argparse.Namespace) -> int:
+    """Shared body for ``dist worker`` and ``serve --role worker``."""
+    from repro.service import ProtocolError, WorkerConfig, run_worker
+
+    if not args.coordinator:
+        raise SystemExit("--role worker needs --coordinator HOST:PORT")
+    config = WorkerConfig(
+        coordinator=args.coordinator,
+        worker_id=getattr(args, "worker_id", None),
+        jobs=args.jobs,
+        cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir,
+        max_cells=getattr(args, "max_cells", None),
+        idle_exit_s=getattr(args, "idle_exit", None),
+    )
+
+    def body() -> int:
+        if args.execution == "process":
+            from repro.util.parallel import effective_jobs, warm_pool
+
+            resolved = effective_jobs(args.jobs)
+            if resolved > 1:
+                warm_pool(resolved)
+        try:
+            summary = run_worker(
+                config,
+                log=lambda message: print(
+                    message, file=sys.stderr, flush=True
+                ),
+                install_signal_handlers=True,
+            )
+        except ProtocolError as error:
+            document = {"status": error.status, **error.document()}
+            raise SystemExit(f"registration rejected: {error} {document}")
+        except ConnectionError as error:
+            raise SystemExit(str(error))
+        return 0 if summary.failed == 0 else 1
+
+    return _observed_command(args, "dist", None, body)
+
+
+def _command_dist(args: argparse.Namespace) -> int:
+    if args.action == "worker":
+        return _run_dist_worker(args)
+
+    # action == "status"
+    from repro.core.artifacts import artifact_json_bytes
+    from repro.service import CoordinatorClient, ProtocolError
+
+    client = CoordinatorClient(args.coordinator, retries=1)
+    try:
+        status = client.get("/v1/dist/status")
+    except (ProtocolError, ConnectionError) as error:
+        raise SystemExit(str(error))
+    if args.json:
+        sys.stdout.buffer.write(artifact_json_bytes(status))
+        return 0
+    print(
+        f"coordinator {args.coordinator}: protocol {status['protocol']}, "
+        f"{'draining' if status['draining'] else 'serving'}, "
+        f"{status['leases']} leases in flight"
+    )
+    for worker in status["workers"]:
+        print(
+            f"  worker {worker['worker_id']}: "
+            f"{worker['completed']} cells, "
+            f"{worker['heartbeats']} heartbeats"
+        )
+    for task in status["tasks"]:
+        print(
+            f"  task {task['task_id']}: {task['n_done']}/{task['n_cells']} "
+            f"done, {task['n_pending']} pending, {task['n_leased']} leased"
+            f"{' (done)' if task['done'] else ''}"
+        )
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.service import ServiceConfig, run_service
 
+    if args.role == "worker":
+        return _run_dist_worker(args)
     if args.workers < 1:
         raise SystemExit("--workers must be at least 1")
     if args.queue_size < 1:
@@ -1308,10 +1540,19 @@ def _command_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=False if args.no_cache else None,
         cache_dir=args.cache_dir,
+        role=args.role,
+        lease_ttl_s=args.lease_ttl,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        sweep_dir=args.cache_dir,
     )
-    return run_service(
-        config, log=lambda message: print(message, file=sys.stderr, flush=True)
-    )
+
+    def body() -> int:
+        return run_service(
+            config,
+            log=lambda message: print(message, file=sys.stderr, flush=True),
+        )
+
+    return _observed_command(args, "serve", None, body)
 
 
 def _command_bench(args: argparse.Namespace) -> int:
@@ -1347,6 +1588,7 @@ _COMMANDS = {
     "profile": _command_profile,
     "artifact": _command_artifact,
     "serve": _command_serve,
+    "dist": _command_dist,
     "bench": _command_bench,
 }
 

@@ -5,16 +5,14 @@ fingerprint documents) is registered here under a stable name —
 ``"fig2_trends"``, ``"table2"``, ``"federation"``, … — together with
 
 * an **extractor** producing the rich Python result from a
-  :class:`~repro.core.study.Study` (the object ``Study.figure2()`` used
-  to return),
+  :class:`~repro.core.study.Study`,
 * a **payload converter** reducing that result to plain JSON types, and
 * a **versioned mini JSON schema** plus the **paper anchor** the
   artifact reproduces.
 
 The registry is the single source of truth for the service
 (:mod:`repro.service`), the CLI (``ddoscovery artifact``), and library
-users (``Study.artifact(name)``); the legacy ``figureN()`` / ``tableN()``
-methods are deprecated shims over it.  Envelopes contain no timestamps
+users (``Study.artifact(name)``).  Envelopes contain no timestamps
 and serialise through one canonical encoder
 (:func:`artifact_json_bytes`), so the same configuration yields
 bit-identical bytes from every entry point — the property the
@@ -339,10 +337,10 @@ _ROWS_SCHEMA = {
 class ArtifactSpec:
     """One registered study artifact.
 
-    ``build`` produces the rich in-memory result (the object the legacy
-    accessor returned); ``payload`` reduces it to JSON-serialisable
-    types validated by ``schema``; ``schema_version`` versions that data
-    block independently of the envelope.
+    ``build`` produces the rich in-memory result; ``payload`` reduces it
+    to JSON-serialisable types validated by ``schema``;
+    ``schema_version`` versions that data block independently of the
+    envelope.
     """
 
     name: str
@@ -353,8 +351,6 @@ class ArtifactSpec:
     build: Callable[["Study"], Any]
     payload: Callable[[Any], dict[str, Any]]
     schema: dict[str, Any]
-    #: legacy ``Study`` accessor this artifact replaces (migration hint).
-    deprecates: str | None = None
 
     def data(self, study: "Study") -> dict[str, Any]:
         """The JSON data block for one study."""
@@ -368,7 +364,6 @@ class ArtifactSpec:
             "paper_anchor": self.paper_anchor,
             "description": self.description,
             "schema_version": self.schema_version,
-            "deprecates": self.deprecates,
         }
 
 
@@ -382,7 +377,6 @@ def _spec(
     schema: dict[str, Any],
     *,
     version: int = 1,
-    deprecates: str | None = None,
 ) -> tuple[str, ArtifactSpec]:
     return name, ArtifactSpec(
         name=name,
@@ -393,7 +387,6 @@ def _spec(
         build=build,
         payload=payload,
         schema=schema,
-        deprecates=deprecates,
     )
 
 
@@ -408,7 +401,6 @@ ARTIFACTS: Mapping[str, ArtifactSpec] = dict(
             lambda study: study._table1(),
             _table1_payload,
             _ROWS_SCHEMA,
-            deprecates="table1",
         ),
         _spec(
             "table2",
@@ -418,7 +410,6 @@ ARTIFACTS: Mapping[str, ArtifactSpec] = dict(
             lambda study: study._table2(),
             _table2_payload,
             _ROWS_SCHEMA,
-            deprecates="table2",
         ),
         _spec(
             "table4",
@@ -428,7 +419,6 @@ ARTIFACTS: Mapping[str, ArtifactSpec] = dict(
             lambda study: study._table4(),
             _table4_payload,
             _ROWS_SCHEMA,
-            deprecates="table4",
         ),
         _spec(
             "fig2_trends",
@@ -438,7 +428,6 @@ ARTIFACTS: Mapping[str, ArtifactSpec] = dict(
             lambda study: study._figure2(),
             _trend_figure_payload,
             _TREND_SCHEMA,
-            deprecates="figure2",
         ),
         _spec(
             "fig3_trends",
@@ -449,7 +438,6 @@ ARTIFACTS: Mapping[str, ArtifactSpec] = dict(
             lambda study: study._figure3(),
             _trend_figure_payload,
             _TREND_SCHEMA,
-            deprecates="figure3",
         ),
         _spec(
             "fig4_heatmap",
@@ -466,7 +454,6 @@ ARTIFACTS: Mapping[str, ArtifactSpec] = dict(
                     "matrix": _MATRIX_SCHEMA,
                 },
             },
-            deprecates="figure4",
         ),
         _spec(
             "fig5_shares",
@@ -490,7 +477,6 @@ ARTIFACTS: Mapping[str, ArtifactSpec] = dict(
                     "last_crossing_quarter": {"type": ["string", "null"]},
                 },
             },
-            deprecates="figure5",
         ),
         _spec(
             "fig6_correlation",
@@ -508,7 +494,6 @@ ARTIFACTS: Mapping[str, ArtifactSpec] = dict(
                     "pearson_normalized": _CORRELATION_MATRIX_SCHEMA,
                 },
             },
-            deprecates="figure6",
         ),
         _spec(
             "fig7_upset",
@@ -533,7 +518,6 @@ ARTIFACTS: Mapping[str, ArtifactSpec] = dict(
                     "rows": {"type": "array", "items": {"type": "object"}},
                 },
             },
-            deprecates="figure7",
         ),
         _spec(
             "fig8_highly_visible",
@@ -557,7 +541,6 @@ ARTIFACTS: Mapping[str, ArtifactSpec] = dict(
                     "share_of_universe": {"type": "number"},
                 },
             },
-            deprecates="figure8",
         ),
         _spec(
             "federation",
@@ -568,7 +551,6 @@ ARTIFACTS: Mapping[str, ArtifactSpec] = dict(
             lambda study: study._figure9(),
             _federation_payload,
             _FEDERATION_SCHEMA,
-            deprecates="figure9",
         ),
         _spec(
             "fig10_overlap",
@@ -578,7 +560,6 @@ ARTIFACTS: Mapping[str, ArtifactSpec] = dict(
             lambda study: study._figure10(),
             _overlap_payload,
             {"type": "object", "additionalProperties": {"type": "object"}},
-            deprecates="figure10",
         ),
         _spec(
             "fig12_newkid",
@@ -592,7 +573,6 @@ ARTIFACTS: Mapping[str, ArtifactSpec] = dict(
                 "required": ["label", "weekly_counts", "normalized"],
                 "properties": {"label": {"type": "string"}},
             },
-            deprecates="figure12",
         ),
         _spec(
             "federation_akamai",
@@ -602,7 +582,6 @@ ARTIFACTS: Mapping[str, ArtifactSpec] = dict(
             lambda study: study._figure13(),
             _federation_payload,
             _FEDERATION_SCHEMA,
-            deprecates="figure13",
         ),
         _spec(
             "fig14_quarterly",
@@ -618,7 +597,6 @@ ARTIFACTS: Mapping[str, ArtifactSpec] = dict(
                     "pairs": {"type": "array", "items": {"type": "object"}}
                 },
             },
-            deprecates="figure14",
         ),
         _spec(
             "headline",

@@ -5,9 +5,7 @@ plan, landscape scenario, ground-truth generator, the ten observatories —
 runs the simulation once (cached), and serves every paper artefact
 through the declarative registry in :mod:`repro.core.artifacts`:
 ``artifact_result(name)`` returns the rich in-memory result,
-``artifact(name)`` the versioned JSON document.  The legacy
-``figure2()`` … ``figure14()`` / ``table1()`` … ``table4()`` accessors
-remain as deprecated shims over the same registry.
+``artifact(name)`` the versioned JSON document.
 
 Typical use::
 
@@ -584,9 +582,7 @@ class Study:
     def artifact_result(self, name: str):
         """The rich in-memory result of one registered artifact.
 
-        This is the object the legacy accessor used to return
-        (``artifact_result("fig2_trends")`` == ``figure2()``); use
-        :meth:`artifact` for the versioned JSON document instead.
+        Use :meth:`artifact` for the versioned JSON document instead.
         """
         from repro.core.artifacts import artifact_spec
 
@@ -603,82 +599,6 @@ class Study:
         from repro.core.artifacts import study_envelope
 
         return study_envelope(self, name)
-
-    # -- deprecated accessors ---------------------------------------------------------
-
-    def _deprecated(self, method: str, artifact: str):
-        import warnings
-
-        warnings.warn(
-            f"Study.{method}() is deprecated; use "
-            f"Study.artifact_result({artifact!r}) for the same rich result "
-            f"or Study.artifact({artifact!r}) for the versioned JSON "
-            "document (see docs/TUTORIAL.md, 'Migrating to the artifact "
-            "registry').",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return self.artifact_result(artifact)
-
-    def figure2(self) -> TrendFigure:
-        """Deprecated: use ``artifact_result("fig2_trends")``."""
-        return self._deprecated("figure2", "fig2_trends")
-
-    def figure3(self) -> TrendFigure:
-        """Deprecated: use ``artifact_result("fig3_trends")``."""
-        return self._deprecated("figure3", "fig3_trends")
-
-    def figure4(self) -> HeatmapFigure:
-        """Deprecated: use ``artifact_result("fig4_heatmap")``."""
-        return self._deprecated("figure4", "fig4_heatmap")
-
-    def figure5(self) -> ShareSeries:
-        """Deprecated: use ``artifact_result("fig5_shares")``."""
-        return self._deprecated("figure5", "fig5_shares")
-
-    def figure6(self) -> CorrelationFigure:
-        """Deprecated: use ``artifact_result("fig6_correlation")``."""
-        return self._deprecated("figure6", "fig6_correlation")
-
-    def figure7(self) -> UpsetResult:
-        """Deprecated: use ``artifact_result("fig7_upset")``."""
-        return self._deprecated("figure7", "fig7_upset")
-
-    def figure8(self) -> HighlyVisible:
-        """Deprecated: use ``artifact_result("fig8_highly_visible")``."""
-        return self._deprecated("figure8", "fig8_highly_visible")
-
-    def figure9(self) -> FederationResult:
-        """Deprecated: use ``artifact_result("federation")``."""
-        return self._deprecated("figure9", "federation")
-
-    def figure10(self) -> dict[str, TargetOverlapFigure]:
-        """Deprecated: use ``artifact_result("fig10_overlap")``."""
-        return self._deprecated("figure10", "fig10_overlap")
-
-    def figure12(self) -> WeeklySeries:
-        """Deprecated: use ``artifact_result("fig12_newkid")``."""
-        return self._deprecated("figure12", "fig12_newkid")
-
-    def figure13(self) -> FederationResult:
-        """Deprecated: use ``artifact_result("federation_akamai")``."""
-        return self._deprecated("figure13", "federation_akamai")
-
-    def figure14(self) -> QuarterlyCorrelationFigure:
-        """Deprecated: use ``artifact_result("fig14_quarterly")``."""
-        return self._deprecated("figure14", "fig14_quarterly")
-
-    def table1(self) -> list[Table1Row]:
-        """Deprecated: use ``artifact_result("table1")``."""
-        return self._deprecated("table1", "table1")
-
-    def table2(self) -> list[Table2Row]:
-        """Deprecated: use ``artifact_result("table2")``."""
-        return self._deprecated("table2", "table2")
-
-    def table4(self) -> list[AsRow]:
-        """Deprecated: use ``artifact_result("table4")``."""
-        return self._deprecated("table4", "table4")
 
     # -- helpers --------------------------------------------------------------------
 

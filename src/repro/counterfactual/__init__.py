@@ -33,6 +33,7 @@ from repro.counterfactual.engine import (
     WhatifOutcome,
     WhatifPairing,
     build_detection_report,
+    divergence_summary,
     run_whatif,
 )
 from repro.counterfactual.presets import (
@@ -78,6 +79,7 @@ __all__ = [
     "build_detection_report",
     "detect",
     "detect_series",
+    "divergence_summary",
     "preset_names",
     "run_whatif",
     "scale_op",

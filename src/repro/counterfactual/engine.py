@@ -331,6 +331,26 @@ def build_detection_report(
         )
 
 
+def divergence_summary(
+    pairing: WhatifPairing,
+    *,
+    sweep_dir: str | Path | None = None,
+    k_sigma: float = DEFAULT_K_SIGMA,
+    band_floor: float = DEFAULT_BAND_FLOOR,
+) -> dict[str, Any] | None:
+    """Running divergence digest for a pairing's ledger as it stands.
+
+    The public face of the incremental-progress payload: works from the
+    ledger alone (no simulation), returns ``None`` until at least one
+    seed has both legs settled.  The dist what-if job body polls this to
+    relay mid-flight divergence through the job document, exactly like
+    the in-process ``on_progress`` callback does for a local run.
+    """
+    return _divergence_summary(
+        pairing.spec(), sweep_dir, k_sigma=k_sigma, band_floor=band_floor
+    )
+
+
 def _divergence_summary(
     spec: ScenarioSpec,
     ledger_root: str | Path | None,

@@ -22,6 +22,7 @@ shard order, so the merged tree shape is identical for any worker count
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Iterator
 
@@ -182,19 +183,36 @@ class _NoopSpan:
 
 _NOOP_SPAN = _NoopSpan()
 
-_TRACER_STACK: list[Tracer] = [Tracer()]
+
+class _TracerStack(threading.local):
+    """Per-thread tracer stack.
+
+    Spans nest *within* a thread of control; sharing one global stack
+    across threads made concurrent spans (e.g. two in-process dist
+    workers, or the coordinator merging a cell on the event-loop thread
+    while a job body runs on a manager thread) corrupt each other's
+    nesting.  Each thread gets its own stack rooted at its own default
+    tracer — single-threaded behaviour (CLI commands, shard workers,
+    every existing test) is unchanged.
+    """
+
+    def __init__(self) -> None:
+        self.stack: list[Tracer] = [Tracer()]
+
+
+_TRACERS = _TracerStack()
 
 
 def tracer() -> Tracer:
-    """The innermost (currently recording) tracer."""
-    return _TRACER_STACK[-1]
+    """The innermost (currently recording) tracer on this thread."""
+    return _TRACERS.stack[-1]
 
 
 def span(name: str, **tags: Any):
     """Open a span under the current one (no-op when disabled)."""
     if not _ENABLED[0]:
         return _NOOP_SPAN
-    return _Span(_TRACER_STACK[-1], span_key(name, tags) if tags else name)
+    return _Span(_TRACERS.stack[-1], span_key(name, tags) if tags else name)
 
 
 class tracing:
@@ -204,9 +222,9 @@ class tracing:
 
     def __enter__(self) -> Tracer:
         self._tracer = Tracer()
-        _TRACER_STACK.append(self._tracer)
+        _TRACERS.stack.append(self._tracer)
         return self._tracer
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        popped = _TRACER_STACK.pop()
+        popped = _TRACERS.stack.pop()
         assert popped is self._tracer, "unbalanced tracing contexts"

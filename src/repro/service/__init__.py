@@ -13,7 +13,16 @@ admission is bounded, cancellation is cooperative, and SIGTERM drains
 gracefully — see :mod:`repro.service.jobs` for the execution contracts
 and ``docs/SERVICE.md`` for the operator view.  Artifact payloads come
 from the same canonical encoder as the CLI and library export paths, so
-bytes fetched over HTTP are bit-identical to batch output.
+bytes fetched over HTTP are bit-identical to batch output.  The whole
+surface is described by ``GET /v1/openapi.json``, generated from the
+same route table the dispatcher runs on (:mod:`repro.service.openapi`).
+
+The distributed tier (``docs/DISTRIBUTED.md``): a ``--role
+coordinator`` daemon additionally mounts ``/v1/dist/*`` and decomposes
+sweep/what-if jobs into per-cell leases executed by ``--role worker``
+processes (:mod:`repro.service.dist`), merging results back into the
+ordinary resumable ledger — byte-identical to a serial run for any
+worker count.
 
 The load tier (``docs/SERVICE.md``): job bodies run on the persistent
 multi-process warm pool by default (``execution="process"``), artifact
@@ -24,6 +33,7 @@ large bodies stream in chunks, and ``ddoscovery bench serve``
 thundering-herd coalescing invariant — under concurrent clients.
 """
 
+from repro.service.app import ROUTES, App, Route
 from repro.service.bench import BenchConfig, run_bench
 from repro.service.daemon import (
     ServiceConfig,
@@ -32,6 +42,17 @@ from repro.service.daemon import (
     run_service,
     serve,
 )
+from repro.service.dist import (
+    DIST_CAPABILITIES,
+    DIST_PROTOCOL_VERSION,
+    CoordinatorClient,
+    DistCoordinator,
+    ProtocolError,
+    WorkerConfig,
+    WorkerSummary,
+    run_worker,
+)
+from repro.service.openapi import openapi_document
 from repro.service.hotcache import HotArtifactCache
 from repro.service.http import etag_matches, make_etag
 from repro.service.jobs import (
@@ -59,13 +80,19 @@ from repro.service.runners import (
 
 __all__ = [
     "CANCELLED",
+    "DIST_CAPABILITIES",
+    "DIST_PROTOCOL_VERSION",
     "DONE",
     "EXECUTION_MODES",
     "FAILED",
     "QUEUED",
+    "ROUTES",
     "RUNNING",
     "TIMEOUT",
+    "App",
     "BenchConfig",
+    "CoordinatorClient",
+    "DistCoordinator",
     "Draining",
     "HotArtifactCache",
     "Job",
@@ -73,17 +100,23 @@ __all__ = [
     "JobManager",
     "JobResult",
     "ProcessJob",
+    "ProtocolError",
     "QueueFull",
+    "Route",
     "ServiceConfig",
     "ServiceHandle",
     "ServiceSettings",
+    "WorkerConfig",
+    "WorkerSummary",
     "etag_matches",
     "free_port",
     "make_etag",
     "make_runner",
+    "openapi_document",
     "parse_submission",
     "run_bench",
     "run_service",
+    "run_worker",
     "serve",
     "study_config_from_payload",
 ]

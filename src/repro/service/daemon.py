@@ -65,6 +65,18 @@ class ServiceConfig:
     jobs: int | None = 1
     cache: bool | None = None
     cache_dir: str | Path | None = None
+    #: "standalone" serves jobs locally; "coordinator" additionally
+    #: activates the ``/v1/dist/*`` tier and decomposes sweep/whatif
+    #: jobs into cell leases executed by registered workers.  (The
+    #: worker role never reaches :func:`serve` — ``ddoscovery serve
+    #: --role worker`` runs :func:`repro.service.dist.run_worker`.)
+    role: str = "standalone"
+    #: dist lease lifetime; an expired lease re-queues its cell.
+    lease_ttl_s: float = 60.0
+    #: evict workers silent longer than this (their leases re-queue).
+    heartbeat_timeout_s: float = 15.0
+    #: where dist sweep ledgers live (defaults to the shared sweep root).
+    sweep_dir: str | Path | None = None
 
 
 @dataclass
@@ -94,6 +106,11 @@ async def serve(
             f"unknown execution mode {config.execution!r}; "
             f"choose from {EXECUTION_MODES}"
         )
+    if config.role not in ("standalone", "coordinator"):
+        raise ValueError(
+            f"unknown service role {config.role!r}; "
+            "choose from ('standalone', 'coordinator')"
+        )
     settings = ServiceSettings(
         jobs=config.jobs,
         cache=config.cache,
@@ -101,9 +118,22 @@ async def serve(
         execution=config.execution,
         pool_workers=max(1, config.workers),
     )
+    coordinator = None
+    if config.role == "coordinator":
+        from repro.service.dist import DistCoordinator
+
+        coordinator = DistCoordinator(
+            sweep_dir=config.sweep_dir,
+            lease_ttl_s=config.lease_ttl_s,
+            heartbeat_timeout_s=config.heartbeat_timeout_s,
+        )
     hot_cache = HotArtifactCache()
+    if coordinator is not None:
+        runner = make_runner(settings, coordinator)
+    else:
+        runner = make_runner(settings)
     manager = JobManager(
-        make_runner(settings),
+        runner,
         workers=config.workers,
         queue_size=config.queue_size,
         default_timeout_s=config.job_timeout_s,
@@ -123,7 +153,12 @@ async def serve(
         if resolved_jobs > 1:
             warm_pool(resolved_jobs)
             log(f"warmed shard worker pool: {resolved_jobs} processes")
-    app = App(manager, hot_cache=hot_cache, execution=config.execution)
+    app = App(
+        manager,
+        hot_cache=hot_cache,
+        execution=config.execution,
+        coordinator=coordinator,
+    )
 
     async def handle_connection(
         reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -181,6 +216,11 @@ async def serve(
         f"workers {manager.workers} ({config.execution}), "
         f"queue {manager.queue_size}, shards per job {config.jobs}"
     )
+    if coordinator is not None:
+        log(
+            f"dist coordinator active: lease ttl {config.lease_ttl_s:g}s, "
+            f"heartbeat timeout {config.heartbeat_timeout_s:g}s"
+        )
     obs.gauge("service.port").set(port)
     if ready is not None:
         ready(handle)
@@ -189,6 +229,10 @@ async def serve(
         await handle.stopping.wait()
     finally:
         log("draining: no new jobs, waiting for running work")
+        if coordinator is not None:
+            # New lease acquires answer "draining"; workers finish their
+            # current cell, upload it, and exit on the next idle poll.
+            coordinator.drain()
         server.close()
         await server.wait_closed()
         await manager.drain(timeout=config.drain_timeout_s)

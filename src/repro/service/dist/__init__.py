@@ -1,0 +1,57 @@
+"""``repro.service.dist``: the coordinator–worker distribution tier.
+
+Sweep and what-if jobs submitted to a coordinator daemon
+(``ddoscovery serve --role coordinator``) are decomposed into **cell
+leases** and dispatched to worker processes (``ddoscovery dist worker``
+or ``ddoscovery serve --role worker``) over the versioned ``/v1/dist/*``
+wire protocol:
+
+* registration + heartbeat with an explicit protocol/capability
+  handshake (:data:`~repro.service.dist.protocol.DIST_PROTOCOL_VERSION`;
+  mismatches are rejected at registration with a structured error),
+* lease acquire / renew / complete with per-lease timeouts — an expired
+  lease returns its cell to the queue for re-dispatch,
+* content-addressed result upload: each completed cell ships the sha256
+  of its canonical JSON encoding and the coordinator re-encodes and
+  verifies before merging.
+
+The coordinator merges completed cells into the ordinary resumable
+JSONL sweep ledger (:mod:`repro.sweep.ledger`), first record per cell
+wins, and every report is still built from the ledger alone — which is
+what makes distributed output **byte-identical** to a serial run for
+any worker count, topology, or failure history.  See
+``docs/DISTRIBUTED.md``.
+"""
+
+from repro.service.dist.coordinator import DistCoordinator
+from repro.service.dist.protocol import (
+    DIST_CAPABILITIES,
+    DIST_PROTOCOL_VERSION,
+    DIST_SCHEMAS,
+    ProtocolError,
+    protocol_descriptor,
+    resolve_spec,
+    result_sha256,
+    validate_message,
+)
+from repro.service.dist.worker import (
+    CoordinatorClient,
+    WorkerConfig,
+    WorkerSummary,
+    run_worker,
+)
+
+__all__ = [
+    "DIST_CAPABILITIES",
+    "DIST_PROTOCOL_VERSION",
+    "DIST_SCHEMAS",
+    "CoordinatorClient",
+    "DistCoordinator",
+    "ProtocolError",
+    "WorkerConfig",
+    "WorkerSummary",
+    "protocol_descriptor",
+    "resolve_spec",
+    "result_sha256",
+    "run_worker",
+]

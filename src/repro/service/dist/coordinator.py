@@ -1,0 +1,471 @@
+"""The dist coordinator: lease book-keeping over the sweep ledger.
+
+One :class:`DistCoordinator` lives inside a ``--role coordinator``
+daemon.  Sweep/what-if job bodies submit **tasks** (a preset descriptor
+expanded locally into cells), workers pull **leases** (one cell each)
+over ``/v1/dist/*``, and completed results merge straight into the
+ordinary resumable JSONL ledger — first record per cell index wins, so
+a duplicate completion can never flip a published result and the report
+built from the ledger is byte-identical to a serial run.
+
+Failure model (pinned by ``tests/test_dist_coordinator.py``):
+
+* **lease expiry** — a lease not renewed within its TTL returns its
+  cell to the front of the queue; the next acquire re-dispatches it
+  (``service.dist.leases.expired`` / ``.retried``).
+* **heartbeat loss** — a worker silent past the heartbeat timeout is
+  evicted and all its leases expire immediately
+  (``service.dist.workers.evicted``).
+* **stale completion** — a result arriving under an expired or evicted
+  lease is rejected with a structured ``stale-lease`` error; the
+  re-dispatched lease recomputes the (deterministic) cell.
+* **hash mismatch** — an upload whose canonical-bytes sha256 does not
+  match its payload is rejected (``result-hash-mismatch``) and the cell
+  re-queued.
+
+Everything is guarded by one lock: handlers run on the daemon's event
+loop thread while job bodies poll from manager worker threads.  Expiry
+and eviction are *lazy* — :meth:`tick` runs at the top of every dist
+request and every job-body poll, so no background timer thread exists
+to leak or race during drain.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro import obs
+from repro.service.dist.protocol import (
+    DIST_CAPABILITIES,
+    DIST_PROTOCOL_VERSION,
+    ProtocolError,
+    check_protocol,
+    resolve_spec,
+    result_sha256,
+)
+from repro.sweep.ledger import SweepLedger
+from repro.sweep.spec import SweepCell, expand
+
+
+@dataclass
+class _Worker:
+    """One registered worker's liveness and accounting state."""
+
+    worker_id: str
+    capabilities: tuple[str, ...]
+    last_seen: float
+    completed: int = 0
+    heartbeats: int = 0
+
+
+@dataclass
+class _Lease:
+    """One in-flight cell assignment."""
+
+    lease_id: str
+    task_id: str
+    cell_index: int
+    worker_id: str
+    deadline: float
+    attempt: int
+
+
+@dataclass
+class _Task:
+    """One decomposed sweep: descriptor, ledger, and the cell queue."""
+
+    task_id: str
+    descriptor: dict[str, Any]
+    ledger: SweepLedger
+    cells: dict[int, SweepCell]
+    #: cell indices still waiting for a lease (expired cells re-join at
+    #: the front so a re-dispatch happens before fresh work).
+    pending: list[int] = field(default_factory=list)
+    leased: dict[int, str] = field(default_factory=dict)  # index -> lease_id
+    completed: set[int] = field(default_factory=set)
+    ledger_hits: set[int] = field(default_factory=set)
+    #: attempts already spent per cell (for lease documents / metrics).
+    attempts: dict[int, int] = field(default_factory=dict)
+    abandoned: bool = False
+
+    @property
+    def done(self) -> bool:
+        return self.abandoned or len(self.completed) == len(self.cells)
+
+
+class DistCoordinator:
+    """Thread-safe lease coordinator for one daemon process."""
+
+    def __init__(
+        self,
+        *,
+        sweep_dir: str | Path | None = None,
+        lease_ttl_s: float = 60.0,
+        heartbeat_interval_s: float = 5.0,
+        heartbeat_timeout_s: float = 15.0,
+        poll_interval_s: float = 0.2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if lease_ttl_s <= 0 or heartbeat_timeout_s <= 0:
+            raise ValueError("lease TTL and heartbeat timeout must be > 0")
+        self.sweep_dir = sweep_dir
+        self.lease_ttl_s = float(lease_ttl_s)
+        self.heartbeat_interval_s = float(heartbeat_interval_s)
+        self.heartbeat_timeout_s = float(heartbeat_timeout_s)
+        self.poll_interval_s = float(poll_interval_s)
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._workers: dict[str, _Worker] = {}
+        self._tasks: dict[str, _Task] = {}
+        self._leases: dict[str, _Lease] = {}
+        self._lease_ids = itertools.count(1)
+        self.draining = False
+
+    # -- worker lifecycle --------------------------------------------------------
+
+    def register(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Admit one worker after the protocol/capability handshake."""
+        check_protocol(payload)
+        worker_id = payload["worker_id"]
+        with self._lock:
+            self.tick()
+            if self.draining:
+                raise ProtocolError(
+                    503, "draining", "coordinator is draining; not admitting"
+                )
+            self._workers[worker_id] = _Worker(
+                worker_id=worker_id,
+                capabilities=tuple(payload["capabilities"]),
+                last_seen=self._clock(),
+            )
+        obs.counter("service.dist.workers.registered").inc()
+        return {
+            "protocol": DIST_PROTOCOL_VERSION,
+            "worker_id": worker_id,
+            "capabilities": list(DIST_CAPABILITIES),
+            "lease_ttl_s": self.lease_ttl_s,
+            "heartbeat_interval_s": self.heartbeat_interval_s,
+            "poll_interval_s": self.poll_interval_s,
+        }
+
+    def deregister(self, worker_id: str) -> dict[str, Any]:
+        """Graceful worker exit: drop it and re-queue its leases."""
+        with self._lock:
+            worker = self._workers.pop(worker_id, None)
+            if worker is None:
+                raise self._unknown_worker(worker_id)
+            self._expire_worker_leases(worker_id, reason="deregistered")
+            return {"worker_id": worker_id, "completed": worker.completed}
+
+    def heartbeat(self, worker_id: str) -> dict[str, Any]:
+        with self._lock:
+            self.tick()
+            worker = self._workers.get(worker_id)
+            if worker is None:
+                raise self._unknown_worker(worker_id)
+            worker.last_seen = self._clock()
+            worker.heartbeats += 1
+        obs.counter("service.dist.heartbeats").inc()
+        return {"worker_id": worker_id, "draining": self.draining}
+
+    # -- leases ------------------------------------------------------------------
+
+    def acquire(self, worker_id: str) -> dict[str, Any]:
+        """Grant the next pending cell to ``worker_id`` (or say idle)."""
+        with self._lock:
+            self.tick()
+            worker = self._workers.get(worker_id)
+            if worker is None:
+                raise self._unknown_worker(worker_id)
+            worker.last_seen = self._clock()
+            idle = {
+                "lease_id": None,
+                "task_id": None,
+                "ttl_s": self.lease_ttl_s,
+                "retry_after_s": self.poll_interval_s,
+                "draining": self.draining,
+                "cell": None,
+                "task": None,
+            }
+            if self.draining:
+                return idle
+            for task in self._tasks.values():
+                if task.abandoned or not task.pending:
+                    continue
+                index = task.pending.pop(0)
+                attempt = task.attempts.get(index, 0) + 1
+                task.attempts[index] = attempt
+                lease = _Lease(
+                    lease_id=f"lease-{next(self._lease_ids)}",
+                    task_id=task.task_id,
+                    cell_index=index,
+                    worker_id=worker_id,
+                    deadline=self._clock() + self.lease_ttl_s,
+                    attempt=attempt,
+                )
+                self._leases[lease.lease_id] = lease
+                task.leased[index] = lease.lease_id
+                cell = task.cells[index]
+                obs.counter("service.dist.leases.granted").inc()
+                if attempt > 1:
+                    obs.counter("service.dist.leases.retried").inc()
+                return {
+                    **idle,
+                    "lease_id": lease.lease_id,
+                    "task_id": task.task_id,
+                    "cell": {
+                        "index": cell.index,
+                        "cell_id": cell.cell_id,
+                        "config_fingerprint": cell.config_fingerprint,
+                    },
+                    "task": dict(task.descriptor),
+                }
+            return idle
+
+    def renew(self, lease_id: str, worker_id: str) -> dict[str, Any]:
+        """Extend one lease's deadline (long cells renew mid-flight)."""
+        with self._lock:
+            self.tick()
+            lease = self._current_lease(lease_id, worker_id)
+            lease.deadline = self._clock() + self.lease_ttl_s
+            worker = self._workers.get(worker_id)
+            if worker is not None:
+                worker.last_seen = self._clock()
+            return {"lease_id": lease_id, "ttl_s": self.lease_ttl_s}
+
+    def complete(
+        self, lease_id: str, worker_id: str, payload: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Verify and merge one completed cell into the ledger."""
+        with self._lock:
+            self.tick()
+            lease = self._current_lease(lease_id, worker_id)
+            task = self._tasks[lease.task_id]
+            result = payload["result"]
+            digest = result_sha256(result)
+            if digest != payload["result_sha256"]:
+                # Corrupt upload: drop the lease and put the cell back.
+                self._drop_lease(lease)
+                task.pending.insert(0, lease.cell_index)
+                obs.counter("service.dist.completions.rejected").inc()
+                raise ProtocolError(
+                    400,
+                    "result-hash-mismatch",
+                    f"cell {lease.cell_index} upload hashes to {digest}, "
+                    f"worker claimed {payload['result_sha256']}; cell "
+                    "re-queued",
+                    expected=payload["result_sha256"],
+                    got=digest,
+                )
+            cell = task.cells[lease.cell_index]
+            with obs.span("service.dist.merge"):
+                if lease.cell_index not in task.completed:
+                    task.ledger.append_cell(
+                        index=cell.index,
+                        cell_id=cell.cell_id,
+                        labels=cell.label_map,
+                        config_fingerprint=cell.config_fingerprint,
+                        elapsed_s=float(payload["elapsed_s"]),
+                        result=result,
+                    )
+                    task.completed.add(lease.cell_index)
+            self._drop_lease(lease)
+            worker = self._workers.get(worker_id)
+            if worker is not None:
+                worker.completed += 1
+                worker.last_seen = self._clock()
+            obs.counter("service.dist.leases.completed").inc()
+            return {
+                "lease_id": lease_id,
+                "cell_index": lease.cell_index,
+                "task_done": task.done,
+            }
+
+    def fail(
+        self, lease_id: str, worker_id: str, message: str
+    ) -> dict[str, Any]:
+        """A worker could not run its cell; re-queue it for another try."""
+        with self._lock:
+            self.tick()
+            lease = self._current_lease(lease_id, worker_id)
+            task = self._tasks[lease.task_id]
+            self._drop_lease(lease)
+            task.pending.insert(0, lease.cell_index)
+            obs.counter("service.dist.leases.failed").inc()
+            return {"lease_id": lease_id, "requeued": lease.cell_index}
+
+    # -- tasks (called by in-daemon job bodies) ----------------------------------
+
+    def submit(self, descriptor: dict[str, Any], *, resume: bool = True) -> str:
+        """Decompose one preset descriptor into a task; returns task id.
+
+        Idempotent per sweep id: a descriptor already in flight returns
+        the existing task (job-level coalescing makes this rare, but a
+        resubmitted job must never fork a second ledger writer).  With
+        ``resume=True``, cells already in the ledger count as hits and
+        are never dispatched.
+        """
+        with obs.span("service.dist.submit"):
+            spec = resolve_spec(descriptor)
+            cells = {cell.index: cell for cell in expand(spec)}
+            ledger = SweepLedger(spec, root=self.sweep_dir)
+            with self._lock:
+                task_id = ledger.sweep_id
+                existing = self._tasks.get(task_id)
+                if existing is not None and not existing.done:
+                    return task_id
+                if not resume:
+                    ledger.reset()
+                state = ledger.read()
+                if state.header is None:
+                    ledger.write_header(len(cells))
+                hits = {
+                    index
+                    for index, record in state.cells.items()
+                    if index in cells
+                    and record.get("config_fingerprint")
+                    == cells[index].config_fingerprint
+                }
+                task = _Task(
+                    task_id=task_id,
+                    descriptor=dict(descriptor),
+                    ledger=ledger,
+                    cells=cells,
+                    pending=[i for i in sorted(cells) if i not in hits],
+                    completed=set(hits),
+                    ledger_hits=set(hits),
+                )
+                self._tasks[task_id] = task
+                obs.gauge("service.dist.tasks").set(len(self._tasks))
+                return task_id
+
+    def task_status(self, task_id: str) -> dict[str, Any]:
+        """Progress snapshot for one task (job bodies poll this)."""
+        with self._lock:
+            self.tick()
+            task = self._tasks.get(task_id)
+            if task is None:
+                raise ProtocolError(
+                    404, "unknown-task", f"no such dist task: {task_id}"
+                )
+            return {
+                "task_id": task_id,
+                "done": task.done,
+                "abandoned": task.abandoned,
+                "n_cells": len(task.cells),
+                "n_done": len(task.completed),
+                "n_pending": len(task.pending),
+                "n_leased": len(task.leased),
+                "executed": len(task.completed) - len(task.ledger_hits),
+                "ledger_hits": len(task.ledger_hits),
+                "n_workers": len(self._workers),
+            }
+
+    def abandon(self, task_id: str) -> None:
+        """Stop dispatching a task (job cancelled); leases go stale."""
+        with self._lock:
+            task = self._tasks.get(task_id)
+            if task is None:
+                return
+            task.abandoned = True
+            task.pending.clear()
+            for index, lease_id in list(task.leased.items()):
+                lease = self._leases.pop(lease_id, None)
+                if lease is not None:
+                    del task.leased[index]
+
+    # -- liveness ----------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Lazy expiry scan: evict silent workers, re-queue dead leases."""
+        with self._lock:
+            now = self._clock()
+            for worker_id, worker in list(self._workers.items()):
+                if now - worker.last_seen > self.heartbeat_timeout_s:
+                    del self._workers[worker_id]
+                    self._expire_worker_leases(worker_id, reason="evicted")
+                    obs.counter("service.dist.workers.evicted").inc()
+            for lease in list(self._leases.values()):
+                if now > lease.deadline:
+                    self._expire_lease(lease)
+
+    def drain(self) -> None:
+        """Stop granting leases; in-flight completions still merge."""
+        with self._lock:
+            self.draining = True
+
+    def status(self) -> dict[str, Any]:
+        """The operator view served at ``GET /v1/dist/status``."""
+        with self._lock:
+            self.tick()
+            return {
+                "protocol": DIST_PROTOCOL_VERSION,
+                "draining": self.draining,
+                "workers": [
+                    {
+                        "worker_id": worker.worker_id,
+                        "completed": worker.completed,
+                        "heartbeats": worker.heartbeats,
+                    }
+                    for worker in sorted(
+                        self._workers.values(), key=lambda w: w.worker_id
+                    )
+                ],
+                "tasks": [
+                    {
+                        "task_id": task.task_id,
+                        "done": task.done,
+                        "n_cells": len(task.cells),
+                        "n_done": len(task.completed),
+                        "n_pending": len(task.pending),
+                        "n_leased": len(task.leased),
+                    }
+                    for task in self._tasks.values()
+                ],
+                "leases": len(self._leases),
+            }
+
+    # -- internals ---------------------------------------------------------------
+
+    def _unknown_worker(self, worker_id: str) -> ProtocolError:
+        return ProtocolError(
+            404,
+            "unknown-worker",
+            f"worker {worker_id!r} is not registered (evicted or never "
+            "registered); register again",
+        )
+
+    def _current_lease(self, lease_id: str, worker_id: str) -> _Lease:
+        lease = self._leases.get(lease_id)
+        if lease is None or lease.worker_id != worker_id:
+            obs.counter("service.dist.completions.stale").inc()
+            raise ProtocolError(
+                409,
+                "stale-lease",
+                f"lease {lease_id} is not current for worker {worker_id!r} "
+                "(expired, evicted, or completed elsewhere)",
+            )
+        return lease
+
+    def _drop_lease(self, lease: _Lease) -> None:
+        self._leases.pop(lease.lease_id, None)
+        task = self._tasks.get(lease.task_id)
+        if task is not None and task.leased.get(lease.cell_index) == lease.lease_id:
+            del task.leased[lease.cell_index]
+
+    def _expire_lease(self, lease: _Lease) -> None:
+        self._drop_lease(lease)
+        task = self._tasks.get(lease.task_id)
+        if task is not None and lease.cell_index not in task.completed:
+            task.pending.insert(0, lease.cell_index)
+        obs.counter("service.dist.leases.expired").inc()
+
+    def _expire_worker_leases(self, worker_id: str, *, reason: str) -> None:
+        for lease in list(self._leases.values()):
+            if lease.worker_id == worker_id:
+                self._expire_lease(lease)

@@ -126,9 +126,15 @@ class Response:
         return cls(status=status, body=body)
 
     @classmethod
-    def error(cls, status: int, message: str) -> "Response":
-        """The uniform error document."""
-        return cls.json({"error": {"status": status, "message": message}}, status)
+    def error(cls, status: int, message: str, **details: object) -> "Response":
+        """The uniform error document.
+
+        Extra keyword details (e.g. a machine-readable ``code`` from a
+        dist :class:`~repro.service.dist.protocol.ProtocolError`) join
+        the ``error`` object alongside ``status`` and ``message``.
+        """
+        document = {"status": status, "message": message, **details}
+        return cls.json({"error": document}, status)
 
     @classmethod
     def not_modified(cls, etag: str) -> "Response":

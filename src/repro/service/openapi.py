@@ -1,0 +1,122 @@
+"""Machine-readable API description: ``GET /v1/openapi.json``.
+
+:func:`openapi_document` is generated from the same declarative route
+table (:data:`repro.service.app.ROUTES`) the dispatcher runs on — a
+route cannot be mounted without appearing in the document, and the
+round-trip test in ``tests/test_openapi.py`` pins the converse.  The
+``components.schemas`` section republishes the repo's mini JSON
+schemas: the artifact envelope and every registered artifact payload
+schema (:data:`repro.core.artifacts.ARTIFACTS`) plus the dist wire
+message schemas (:data:`repro.service.dist.protocol.DIST_SCHEMAS`).
+
+The document is canonical: sorted keys, no timestamps, derived entirely
+from registries — two daemons of the same build serve byte-identical
+descriptions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+from repro.service.dist.protocol import DIST_PROTOCOL_VERSION, DIST_SCHEMAS
+
+#: The service API version prefix every route lives under.
+API_VERSION = "v1"
+
+_PARAM = re.compile(r"\{([a-z_]+)\}")
+
+
+def _operation_id(method: str, pattern: str) -> str:
+    slug = _PARAM.sub(lambda match: match.group(1), pattern)
+    slug = slug.strip("/").replace("/", "_").replace(".", "_")
+    return f"{method.lower()}_{slug}"
+
+
+def _schema_ref(name: str) -> dict[str, Any]:
+    return {"$ref": f"#/components/schemas/{name}"}
+
+
+def components() -> dict[str, Any]:
+    """Every registered mini schema, namespaced by registry."""
+    from repro.core.artifacts import ARTIFACTS, ENVELOPE_REQUIRED
+
+    schemas: dict[str, Any] = {
+        "artifact_envelope": {
+            "type": "object",
+            "required": list(ENVELOPE_REQUIRED),
+        },
+        "error": {
+            "type": "object",
+            "required": ["error"],
+            "properties": {"error": DIST_SCHEMAS["error"]},
+        },
+    }
+    for name, spec in ARTIFACTS.items():
+        schemas[f"artifact.{name}"] = spec.schema
+    for name, schema in DIST_SCHEMAS.items():
+        schemas[f"dist.{name}"] = schema
+    return {"schemas": schemas}
+
+
+def openapi_document(routes: Iterable[Any]) -> dict[str, Any]:
+    """Build the OpenAPI 3 document from the mounted route table."""
+    paths: dict[str, dict[str, Any]] = {}
+    for route in routes:
+        operation: dict[str, Any] = {
+            "operationId": _operation_id(route.method, route.pattern),
+            "summary": route.summary,
+            "responses": {
+                "default": {
+                    "description": "error",
+                    "content": {
+                        "application/json": {
+                            "schema": _schema_ref("error")
+                        }
+                    },
+                }
+            },
+        }
+        parameters = [
+            {
+                "name": name,
+                "in": "path",
+                "required": True,
+                "schema": {"type": "string"},
+            }
+            for name in _PARAM.findall(route.pattern)
+        ]
+        if parameters:
+            operation["parameters"] = parameters
+        if route.request_schema is not None:
+            operation["requestBody"] = {
+                "required": True,
+                "content": {
+                    "application/json": {
+                        "schema": _schema_ref(route.request_schema)
+                    }
+                },
+            }
+        response: dict[str, Any] = {"description": "success"}
+        if route.response_schema is not None:
+            response["content"] = {
+                "application/json": {
+                    "schema": _schema_ref(route.response_schema)
+                }
+            }
+        operation["responses"]["200"] = response
+        paths.setdefault(route.pattern, {})[route.method.lower()] = operation
+    return {
+        "openapi": "3.0.3",
+        "info": {
+            "title": "ddoscovery study service",
+            "description": (
+                "Job API over the DDoScovery reproduction pipeline; "
+                "artifact bytes are canonical and content-addressed."
+            ),
+            "version": API_VERSION,
+            "x-dist-protocol": DIST_PROTOCOL_VERSION,
+        },
+        "paths": paths,
+        "components": components(),
+    }

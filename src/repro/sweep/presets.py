@@ -20,6 +20,11 @@ resume, caching, and ensemble reports for free.
 ``smoke``
     2 seeds x 2 scales on a ~20-week window; small enough for tier-1
     tests and ``make sweep-smoke``.
+``seed0-small``
+    A 6-seed ensemble of the pinned ``seed0-small`` golden
+    configuration (:func:`repro.core.golden.small_pinned_config`) —
+    uniform, cache-friendly cells sized for ``make dist-smoke`` and the
+    distributed-vs-serial byte-identity checks.
 
 The sibling-paper scenario families (:mod:`repro.scenarios.presets`)
 register four more — ``booter-takedown``, ``cloud-observatory``,
@@ -203,6 +208,20 @@ def _smoke() -> ScenarioSpec:
     )
 
 
+def _seed0_small() -> ScenarioSpec:
+    from repro.core.golden import small_pinned_config
+
+    return ScenarioSpec(
+        name="seed0-small",
+        description=(
+            "6-seed ensemble of the pinned seed0-small configuration; "
+            "uniform cells for dist smoke runs and byte-identity checks."
+        ),
+        base=small_pinned_config(0),
+        axes=(seed_axis((0, 1, 2, 3, 4, 5)),),
+    )
+
+
 def _scenario_preset_factories() -> dict[str, Callable[[], ScenarioSpec]]:
     # Imported lazily so the sweep layer stays importable even if the
     # scenarios package is stripped down.
@@ -217,6 +236,7 @@ PRESETS: dict[str, Callable[[], ScenarioSpec]] = {
     "ablation-carpet": _ablation_carpet,
     "ablation-interventions": _ablation_interventions,
     "smoke": _smoke,
+    "seed0-small": _seed0_small,
     **_scenario_preset_factories(),
 }
 

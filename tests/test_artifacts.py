@@ -1,16 +1,15 @@
-"""Artifact registry tests: completeness, envelopes, deprecation shims.
+"""Artifact registry tests: completeness, envelopes, canonical bytes.
 
 The registry in :mod:`repro.core.artifacts` is the one public mapping
 from stable names to study outputs; these tests pin its enumeration,
 the versioned envelope shape (via ``validate_artifact``), the canonical
-byte encoding shared with the service, and the legacy ``figureN()`` /
-``tableN()`` shims (warn once, then return the registry result).
+byte encoding shared with the service, and the absence of the removed
+legacy ``figureN()`` / ``tableN()`` accessors.
 """
 
 from __future__ import annotations
 
 import json
-import warnings
 
 import pytest
 
@@ -24,23 +23,6 @@ from repro.core.artifacts import (
     study_envelope,
 )
 from repro.core.validate import validate_artifact
-
-#: legacy accessor -> registry name (the full shim surface).
-SHIMS = {
-    "table1": "table1",
-    "table2": "table2",
-    "table4": "table4",
-    "figure2": "fig2_trends",
-    "figure3": "fig3_trends",
-    "figure4": "fig4_heatmap",
-    "figure5": "fig5_shares",
-    "figure6": "fig6_correlation",
-    "figure7": "fig7_upset",
-    "figure8": "fig8_highly_visible",
-    "figure10": "fig10_overlap",
-    "figure12": "fig12_newkid",
-    "figure14": "fig14_quarterly",
-}
 
 
 class TestRegistryShape:
@@ -75,6 +57,19 @@ class TestRegistryShape:
         with pytest.raises(KeyError, match="table1"):
             artifact_spec("figure99")
 
+    def test_legacy_accessors_are_gone(self, small_study):
+        # The registry is the only artifact surface now: the deprecated
+        # figureN()/tableN() shims were removed after one release cycle.
+        for legacy in (
+            "figure2",
+            "figure9",
+            "figure14",
+            "table1",
+            "table2",
+            "table4",
+        ):
+            assert not hasattr(small_study, legacy), legacy
+
 
 class TestEnvelopes:
     def test_all_artifacts_validate(self, small_study):
@@ -104,36 +99,6 @@ class TestEnvelopes:
         assert first.endswith(b"\n")
         # round-trips exactly (floats use repr; sorted keys)
         assert artifact_json_bytes(json.loads(first)) == first
-
-
-class TestDeprecationShims:
-    def test_shims_warn_and_match_registry(self, small_study):
-        for legacy, name in SHIMS.items():
-            with pytest.warns(DeprecationWarning, match=name):
-                via_shim = getattr(small_study, legacy)()
-            with warnings.catch_warnings():
-                warnings.simplefilter("error")  # registry path must not warn
-                via_registry = small_study.artifact_result(name)
-            spec = artifact_spec(name)
-            shim_bytes = json.dumps(spec.payload(via_shim), sort_keys=True)
-            registry_bytes = json.dumps(spec.payload(via_registry), sort_keys=True)
-            assert shim_bytes == registry_bytes, legacy
-
-    def test_figure9_and_13_shims(self, small_study):
-        for legacy, name in (("figure9", "federation"), ("figure13", "federation_akamai")):
-            with pytest.warns(DeprecationWarning, match=name):
-                via_shim = getattr(small_study, legacy)()
-            spec = artifact_spec(name)
-            assert json.dumps(spec.payload(via_shim), sort_keys=True) == json.dumps(
-                spec.payload(small_study.artifact_result(name)), sort_keys=True
-            )
-
-    def test_warning_names_the_migration_target(self, small_study):
-        with pytest.warns(DeprecationWarning) as captured:
-            small_study.table1()
-        message = str(captured[0].message)
-        assert "artifact_result('table1')" in message
-        assert "TUTORIAL" in message
 
 
 class TestFacade:

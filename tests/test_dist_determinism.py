@@ -1,0 +1,169 @@
+"""Lease-expiry determinism: SIGKILL a worker mid-cell, bytes still match.
+
+The distributed tier's headline invariant is that worker failures are
+invisible in the output.  This test makes the failure real: a worker
+*subprocess* acquires a lease, stalls inside the cell body (via the
+``REPRO_DIST_CELL_DELAY_S`` chaos hook), and is SIGKILLed — no drain, no
+deregister, no goodbye.  The coordinator must expire the orphaned lease,
+re-dispatch the cell to the surviving workers, record every cell exactly
+once in the ledger, and serve a ``report`` artifact byte-identical to a
+serial run of the same preset.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import repro
+from repro.core.artifacts import artifact_json_bytes
+from repro.service.dist import WorkerConfig, run_worker
+from repro.sweep.ledger import SweepLedger
+from repro.sweep.presets import preset
+from repro.sweep.spec import spec_fingerprint
+
+from tests.test_service import poll_until, request, request_json, run_daemon
+
+_SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+_VICTIM = """
+import sys
+from repro.service.dist import WorkerConfig, run_worker
+
+run_worker(
+    WorkerConfig(coordinator=sys.argv[1], worker_id="victim", cache=False),
+    log=lambda line: None,
+)
+"""
+
+
+def spawn_victim(port: int) -> subprocess.Popen:
+    """A worker subprocess that will stall 60 s inside its first cell."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_DIR
+    env["REPRO_DIST_CELL_DELAY_S"] = "60"
+    return subprocess.Popen(
+        [sys.executable, "-c", _VICTIM, f"http://127.0.0.1:{port}"],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def test_sigkilled_worker_never_changes_the_bytes(tmp_path):
+    from repro.sweep.scheduler import run_sweep
+
+    spec = preset("smoke")
+    serial = run_sweep(spec, jobs=1, sweep_dir=tmp_path / "serial", cache=False)
+    expected = artifact_json_bytes(
+        {
+            "kind": "sweep-report",
+            "preset": "smoke",
+            "sweep_id": serial.sweep_id,
+            "spec_fingerprint": spec_fingerprint(spec),
+            "n_cells": serial.report.n_cells,
+            "n_done": len(serial.report.cells),
+            "stopped": False,
+            "rendered": serial.report.render(),
+        }
+    )
+    dist_dir = tmp_path / "dist"
+
+    async def scenario(handle):
+        port = handle.port
+        _, submitted = await request_json(
+            port, "POST", "/v1/jobs", {"kind": "sweep", "preset": "smoke"}
+        )
+        victim = spawn_victim(port)
+        stop = threading.Event()
+        rescuers = []
+        try:
+            # wait until the victim holds a lease (it is the only worker,
+            # so the first lease in the overview is its stalled cell)
+            for _ in range(600):
+                _, overview = await request_json(port, "GET", "/v1/dist/status")
+                if overview["leases"] >= 1:
+                    break
+                await asyncio.sleep(0.05)
+            else:
+                raise AssertionError(f"victim never acquired: {overview}")
+            assert [w["worker_id"] for w in overview["workers"]] == ["victim"]
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=10)
+
+            rescuers = [
+                threading.Thread(
+                    target=run_worker,
+                    args=(
+                        WorkerConfig(
+                            coordinator=f"http://127.0.0.1:{port}",
+                            worker_id=f"rescuer-{i}",
+                            cache=False,
+                        ),
+                    ),
+                    kwargs={"stop": stop},
+                    daemon=True,
+                )
+                for i in range(2)
+            ]
+            for thread in rescuers:
+                thread.start()
+
+            document = await poll_until(
+                port, submitted["id"], "done", "failed", tries=3000
+            )
+            assert document["status"] == "done", document["error"]
+            # the stalled cell was re-dispatched: rescuers ran all 4
+            assert document["summary"]["executed"] == 4
+            _, overview = await request_json(port, "GET", "/v1/dist/status")
+            by_id = {w["worker_id"]: w for w in overview["workers"]}
+            # the victim contributed nothing; the rescuers did it all
+            # (it stays in the roster until the heartbeat timeout — only
+            # its *lease* had to die for the cell to re-dispatch)
+            assert by_id.get("victim", {"completed": 0})["completed"] == 0
+            assert sum(w["completed"] for w in overview["workers"]) == 4
+            status, raw = await request(
+                port, "GET", f"/v1/jobs/{submitted['id']}/artifacts/report"
+            )
+            assert status == 200
+            scenario.raw = raw
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+            stop.set()
+            await asyncio.to_thread(
+                lambda: [thread.join(timeout=15) for thread in rescuers]
+            )
+
+    run_daemon(
+        scenario,
+        role="coordinator",
+        sweep_dir=dist_dir,
+        cache=False,
+        # short TTL so the orphaned lease re-dispatches quickly; the
+        # heartbeat timeout stays long enough that live workers (which
+        # also refresh liveness on acquire/complete) are never evicted.
+        lease_ttl_s=2.0,
+        heartbeat_timeout_s=30.0,
+    )
+
+    assert scenario.raw == expected
+
+    # exactly-once: one ledger record per cell index, no duplicates from
+    # the killed lease (SIGKILL means its upload never happened)
+    records = [
+        json.loads(line)
+        for line in SweepLedger(spec, root=dist_dir)
+        .path.read_text()
+        .splitlines()
+        if json.loads(line).get("kind") == "cell"
+    ]
+    indices = [record["index"] for record in records]
+    assert sorted(indices) == [0, 1, 2, 3]
+    assert len(indices) == len(set(indices))

@@ -73,7 +73,7 @@ class TestDeterminism:
 
 class TestFigures:
     def test_figure2_series_and_slopes(self, small_study):
-        figure = small_study.figure2()
+        figure = small_study.artifact_result("fig2_trends")
         assert set(figure.series) == {
             "ORION",
             "UCSD",
@@ -86,21 +86,21 @@ class TestFigures:
             assert 2019 in slopes[label]
 
     def test_figure3_has_no_takedowns_in_short_window(self, small_study):
-        figure = small_study.figure3()
+        figure = small_study.artifact_result("fig3_trends")
         assert figure.takedown_weeks == []
         assert len(figure.series) == 5
 
     def test_figure4_heatmap_shape(self, small_study):
-        figure = small_study.figure4()
+        figure = small_study.artifact_result("fig4_heatmap")
         assert figure.matrix.shape == (10, small_study.calendar.n_weeks)
         assert figure.labels[0] == "ORION"
 
     def test_figure5_shares_sum_to_one(self, small_study):
-        shares = small_study.figure5()
+        shares = small_study.artifact_result("fig5_shares")
         assert np.allclose(shares.dp_share + shares.ra_share, 1.0)
 
     def test_figure6_matrices(self, small_study):
-        figure = small_study.figure6()
+        figure = small_study.artifact_result("fig6_correlation")
         assert figure.normalized.coefficients.shape == (10, 10)
         assert figure.smoothed.coefficients.shape == (10, 10)
         assert figure.pearson_normalized.method == "pearson"
@@ -110,19 +110,19 @@ class TestFigures:
         assert smooth_mean >= raw_mean - 0.05
 
     def test_figure7_upset_consistency(self, small_study):
-        result = small_study.figure7()
+        result = small_study.artifact_result("fig7_upset")
         assert set(result.set_names) == set(ACADEMIC_OBSERVATORIES)
         assert sum(row.count for row in result.rows) == result.universe_size
         assert result.universe_size == len(small_study.academic_universe)
 
     def test_figure8_highly_visible_subset_of_universe(self, small_study):
-        result = small_study.figure8()
+        result = small_study.artifact_result("fig8_highly_visible")
         assert result.tuples <= small_study.academic_universe
         assert 0 <= result.share_of_universe < 0.1
         assert result.total_per_week.sum() == len(result.tuples)
 
     def test_figure9_confirmation_shares_bounded(self, small_study):
-        result = small_study.figure9()
+        result = small_study.artifact_result("federation")
         for row in result.forward:
             assert 0.0 <= row.share <= 1.0
             assert row.confirmed_count <= row.academic_count
@@ -131,7 +131,7 @@ class TestFigures:
         assert result.reverse_union >= max(result.reverse.values())
 
     def test_figure10_overlap_bounded_by_parts(self, small_study):
-        figures = small_study.figure10()
+        figures = small_study.artifact_result("fig10_overlap")
         assert set(figures) == {"telescopes", "honeypots"}
         for figure in figures.values():
             assert (figure.weekly_shared <= figure.weekly_a + 1e-9).all()
@@ -139,18 +139,18 @@ class TestFigures:
             assert figure.union_share_of_universe <= 1.0
 
     def test_figure12_newkid_erratic(self, small_study):
-        series = small_study.figure12()
+        series = small_study.artifact_result("fig12_newkid")
         # Single sensor: sparse counts with empty weeks.
         assert (series.counts == 0).any()
         assert series.counts.sum() > 0
 
     def test_figure13_akamai_join(self, small_study):
-        result = small_study.figure13()
+        result = small_study.artifact_result("federation_akamai")
         assert result.industry_name == "Akamai"
         assert result.baseline_size > 0
 
     def test_figure14_quarterly_boxes(self, small_study):
-        figure = small_study.figure14()
+        figure = small_study.artifact_result("fig14_quarterly")
         assert figure.pairs
         for stats in figure.pairs.values():
             assert -1.0 <= stats.minimum <= stats.median <= stats.maximum <= 1.0
@@ -158,7 +158,7 @@ class TestFigures:
 
 class TestTables:
     def test_table1_structure(self, small_study):
-        rows = small_study.table1()
+        rows = small_study.artifact_result("table1")
         assert [row.attack_type for row in rows] == ["DP", "RA"]
         dp_row = rows[0]
         assert len(dp_row.observatory_trends) == 5
@@ -166,7 +166,7 @@ class TestTables:
         assert dp_row.industry.decrease == 0
 
     def test_table2_inventory(self, small_study):
-        rows = small_study.table2()
+        rows = small_study.artifact_result("table2")
         platforms = [row.platform for row in rows]
         assert platforms == [
             "UCSD NT",
@@ -183,7 +183,7 @@ class TestTables:
         assert "25" in ucsd.threshold
 
     def test_table4_rows(self, small_study):
-        rows = small_study.table4()
+        rows = small_study.artifact_result("table4")
         if rows:  # the small run may have few highly-visible targets
             assert rows[0].rank == 1
             shares = [row.share for row in rows]
